@@ -1,0 +1,1 @@
+bench/ascii_plot.ml: Array Buffer Float List Printf String

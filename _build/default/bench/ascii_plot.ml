@@ -1,0 +1,73 @@
+(* Minimal ASCII chart renderer for the harness: plots (x, y) series on
+   a character grid with per-series markers, linear or log-10 y axis. *)
+
+type series = { label : string; marker : char; points : (float * float) list }
+
+let render ?(width = 64) ?(height = 16) ?(log_y = false) ~x_label ~y_label
+    series =
+  let all_points = List.concat_map (fun s -> s.points) series in
+  let finite = List.filter (fun (_, y) -> Float.is_finite y) all_points in
+  if finite = [] then "(no data)\n"
+  else begin
+    let xs = List.map fst finite and ys = List.map snd finite in
+    let fold f = function [] -> 0. | h :: t -> List.fold_left f h t in
+    let x_min = fold min xs and x_max = fold max xs in
+    let y_raw_min = fold min ys and y_raw_max = fold max ys in
+    let transform y = if log_y then log10 (max y 1e-9) else y in
+    let y_min = transform y_raw_min and y_max = transform y_raw_max in
+    let x_span = if x_max = x_min then 1. else x_max -. x_min in
+    let y_span = if y_max = y_min then 1. else y_max -. y_min in
+    let grid = Array.make_matrix height width ' ' in
+    List.iter
+      (fun s ->
+        List.iter
+          (fun (x, y) ->
+            if Float.is_finite y then begin
+              let cx =
+                int_of_float
+                  ((x -. x_min) /. x_span *. float_of_int (width - 1))
+              in
+              let cy =
+                int_of_float
+                  ((transform y -. y_min) /. y_span *. float_of_int (height - 1))
+              in
+              let row = height - 1 - cy in
+              if grid.(row).(cx) = ' ' then grid.(row).(cx) <- s.marker
+              else if grid.(row).(cx) <> s.marker then grid.(row).(cx) <- '#'
+            end)
+          s.points)
+      series;
+    let buf = Buffer.create 2048 in
+    let y_at row =
+      let frac = float_of_int (height - 1 - row) /. float_of_int (height - 1) in
+      let v = y_min +. (frac *. y_span) in
+      if log_y then 10. ** v else v
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "%s%s\n" y_label (if log_y then " (log scale)" else ""));
+    Array.iteri
+      (fun row line ->
+        let tick =
+          if row = 0 || row = height - 1 || row = height / 2 then
+            Printf.sprintf "%8.2f |" (y_at row)
+          else Printf.sprintf "%8s |" ""
+        in
+        Buffer.add_string buf tick;
+        Buffer.add_string buf (String.init width (fun i -> line.(i)));
+        Buffer.add_char buf '\n')
+      grid;
+    Buffer.add_string buf (Printf.sprintf "%8s +%s\n" "" (String.make width '-'));
+    Buffer.add_string buf
+      (Printf.sprintf "%8s  %-*s%*s   (x: %s)\n" ""
+         (width / 2)
+         (Printf.sprintf "%.5g" x_min)
+         (width / 2)
+         (Printf.sprintf "%.6g" x_max)
+         x_label);
+    List.iter
+      (fun s ->
+        Buffer.add_string buf
+          (Printf.sprintf "%9s%c = %s\n" "" s.marker s.label))
+      series;
+    Buffer.contents buf
+  end

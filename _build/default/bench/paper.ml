@@ -1,0 +1,65 @@
+(* The published numbers, for side-by-side comparison in the harness
+   output (USENIX '96, Zeisset/Tritscher/Mairandres). *)
+
+(* Table 1: (label, asvm_ms, xmm_ms) *)
+let table1 =
+  [
+    ("write fault, 1 read copy", 2.24, 38.42);
+    ("write fault, 2 read copies", 3.10, 12.92);
+    ("write fault, 64 read copies", 8.96, 72.18);
+    ("write upgrade, 2 read copies", 1.51, 3.83);
+    ("write upgrade, 64 read copies", 7.75, 63.72);
+    ("read fault, first reader", 2.35, 38.59);
+    ("read fault, second reader", 2.35, 10.06);
+  ]
+
+(* Figure 11 latency model: lb + n * la *)
+let fig11_asvm = (2.7, 0.48)
+let fig11_xmm = (5.0, 4.3)
+
+(* Table 2: nodes, asvm write, xmm write, asvm read, xmm read (MB/s) *)
+let table2 =
+  [
+    (1, 2.80, 2.15, 1.57, 1.18);
+    (2, 2.60, 1.77, 1.53, 0.38);
+    (4, 2.05, 0.90, 1.14, 0.25);
+    (8, 1.22, 0.49, 0.91, 0.11);
+    (16, 0.62, 0.24, 0.70, 0.05);
+    (32, 0.30, 0.12, 0.66, 0.02);
+    (64, 0.15, 0.06, 0.66, 0.01);
+  ]
+
+(* Table 3: cells -> (nodes, asvm_s, xmm_s) list; None = omitted (**) *)
+let table3 =
+  [
+    ( 64_000,
+      [
+        (1, Some 43.6, Some 43.6);
+        (2, Some 32.0, Some 151.);
+        (4, Some 19.9, Some 213.);
+        (8, Some 13.9, Some 392.);
+        (16, Some 11.2, Some 755.);
+        (32, Some 9.86, Some 1405.);
+        (64, Some 9.55, Some 2735.);
+      ] );
+    ( 256_000,
+      [
+        (1, Some 174., Some 174.);
+        (2, None, None);
+        (4, None, None);
+        (8, Some 33.6, Some 520.);
+        (16, Some 21.5, Some 842.);
+        (32, Some 15.6, Some 1604.);
+        (64, Some 12.8, Some 2957.);
+      ] );
+    ( 1_024_000,
+      [
+        (1, Some 698., Some 698.);
+        (2, None, None);
+        (4, None, None);
+        (8, None, None);
+        (16, None, None);
+        (32, Some 54.2, Some 1863.);
+        (64, Some 24.4, Some 3373.);
+      ] );
+  ]

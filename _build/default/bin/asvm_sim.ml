@@ -1,0 +1,189 @@
+(* asvm-sim: command-line driver for the ASVM multicomputer simulator.
+
+   Subcommands run each of the paper's experiments with configurable
+   parameters:
+
+     asvm-sim fault  --mm asvm --readers 4 --kind write
+     asvm-sim chain  --mm xmm --length 6
+     asvm-sim file   --mm asvm --nodes 16 --op read --mb 4
+     asvm-sim em3d   --mm asvm --nodes 32 --cells 256000 --iterations 20 *)
+
+open Cmdliner
+
+module Config = Asvm_cluster.Config
+module Fault_micro = Asvm_workloads.Fault_micro
+module Copy_chain = Asvm_workloads.Copy_chain
+module File_io = Asvm_workloads.File_io
+module Em3d = Asvm_workloads.Em3d
+
+let mm_arg =
+  let parse = function
+    | "asvm" -> Ok Config.Mm_asvm
+    | "xmm" -> Ok Config.Mm_xmm
+    | s -> Error (`Msg (Printf.sprintf "unknown memory manager %S" s))
+  in
+  let print ppf mm = Format.pp_print_string ppf (String.lowercase_ascii (Config.mm_name mm)) in
+  Arg.conv (parse, print)
+
+let mm_term =
+  Arg.(
+    value
+    & opt mm_arg Config.Mm_asvm
+    & info [ "mm" ] ~docv:"MM" ~doc:"Memory manager: $(b,asvm) or $(b,xmm).")
+
+(* ------------------------------- fault ------------------------------ *)
+
+let fault_cmd =
+  let kind_term =
+    Arg.(
+      value
+      & opt (enum [ ("write", `Write); ("upgrade", `Upgrade); ("read", `Read) ]) `Write
+      & info [ "kind" ] ~docv:"KIND"
+          ~doc:"Fault kind: $(b,write), $(b,upgrade) or $(b,read).")
+  in
+  let readers_term =
+    Arg.(value & opt int 2 & info [ "readers" ] ~doc:"Read copies in place.")
+  in
+  let nodes_term =
+    Arg.(value & opt int 72 & info [ "nodes" ] ~doc:"Machine size.")
+  in
+  let run mm kind readers nodes =
+    let fk =
+      match kind with
+      | `Write -> Fault_micro.Write_fault { read_copies = readers }
+      | `Upgrade -> Fault_micro.Write_upgrade { read_copies = readers }
+      | `Read -> Fault_micro.Read_fault { nth_reader = readers }
+    in
+    let ms = Fault_micro.measure ~nodes ~mm fk in
+    Printf.printf "%s under %s: %.2f ms\n" (Fault_micro.describe fk)
+      (Config.mm_name mm) ms
+  in
+  Cmd.v
+    (Cmd.info "fault" ~doc:"Page-fault latency microbenchmark (Table 1).")
+    Term.(const run $ mm_term $ kind_term $ readers_term $ nodes_term)
+
+(* ------------------------------- chain ------------------------------ *)
+
+let chain_cmd =
+  let length_term =
+    Arg.(value & opt int 4 & info [ "length" ] ~doc:"Copy-chain length.")
+  in
+  let run mm length =
+    let r = Copy_chain.measure ~mm ~chain:length () in
+    Printf.printf
+      "chain of %d under %s: %.2f ms mean fault latency (%d faults, %.2f ms \
+       total)\n"
+      length (Config.mm_name mm) r.Copy_chain.mean_fault_ms r.Copy_chain.faults
+      r.Copy_chain.total_ms
+  in
+  Cmd.v
+    (Cmd.info "chain" ~doc:"Inherited-memory copy-chain benchmark (Figure 11).")
+    Term.(const run $ mm_term $ length_term)
+
+(* -------------------------------- file ------------------------------ *)
+
+let file_cmd =
+  let nodes_term =
+    Arg.(value & opt int 8 & info [ "nodes" ] ~doc:"Nodes accessing the file.")
+  in
+  let mb_term = Arg.(value & opt int 4 & info [ "mb" ] ~doc:"File size (MB).") in
+  let op_term =
+    Arg.(
+      value
+      & opt (enum [ ("read", `Read); ("write", `Write) ]) `Read
+      & info [ "op" ] ~doc:"Access type: $(b,read) or $(b,write).")
+  in
+  let run mm nodes mb op =
+    let r =
+      match op with
+      | `Read -> File_io.read_test ~mm ~nodes ~file_mb:mb ()
+      | `Write -> File_io.write_test ~mm ~nodes ~file_mb:mb ()
+    in
+    Printf.printf
+      "%s of a %d MB mapped file on %d nodes under %s: %.2f MB/s per node \
+       (%d pager supplies)\n"
+      (match op with `Read -> "parallel read" | `Write -> "parallel write")
+      mb nodes (Config.mm_name mm) r.File_io.per_node_mb_s
+      r.File_io.pager_supplies
+  in
+  Cmd.v
+    (Cmd.info "file" ~doc:"Mapped-file transfer-rate benchmark (Table 2).")
+    Term.(const run $ mm_term $ nodes_term $ mb_term $ op_term)
+
+(* -------------------------------- em3d ------------------------------ *)
+
+let em3d_cmd =
+  let nodes_term =
+    Arg.(value & opt int 16 & info [ "nodes" ] ~doc:"Compute nodes.")
+  in
+  let cells_term =
+    Arg.(value & opt int 64_000 & info [ "cells" ] ~doc:"Total E+H cells.")
+  in
+  let iter_term =
+    Arg.(value & opt int 20 & info [ "iterations" ] ~doc:"Iterations.")
+  in
+  let big_mem_term =
+    Arg.(
+      value & flag
+      & info [ "big-memory" ]
+          ~doc:"Give every node enough memory for the whole data set.")
+  in
+  let run mm nodes cells iterations big_mem =
+    let memory_pages =
+      if big_mem then Some (Em3d.data_pages ~cells + 64) else None
+    in
+    if
+      (not big_mem) && nodes > 1
+      && not
+           (Em3d.fits ~cells ~nodes
+              ~memory_pages_per_node:Asvm_machvm.Vm_config.default.memory_pages)
+    then
+      print_endline
+        "data set exceeds the combined memory of the nodes (the paper marks \
+         this **); use --big-memory to run anyway"
+    else begin
+      let r =
+        Em3d.run ~mm ?memory_pages
+          { (Em3d.default_params ~cells ~nodes) with iterations }
+      in
+      Printf.printf
+        "EM3D %d cells, %d iterations on %d nodes under %s: %.2f s (%d page \
+         faults, %d protocol messages)\n"
+        cells iterations nodes (Config.mm_name mm) r.Em3d.seconds r.Em3d.faults
+        r.Em3d.protocol_messages
+    end
+  in
+  Cmd.v
+    (Cmd.info "em3d" ~doc:"EM3D application benchmark (Table 3).")
+    Term.(const run $ mm_term $ nodes_term $ cells_term $ iter_term $ big_mem_term)
+
+(* -------------------------------- sor ------------------------------- *)
+
+let sor_cmd =
+  let nodes_term =
+    Arg.(value & opt int 8 & info [ "nodes" ] ~doc:"Compute nodes.")
+  in
+  let grid_term =
+    Arg.(value & opt int 1024 & info [ "grid" ] ~doc:"Grid side length.")
+  in
+  let iter_term =
+    Arg.(value & opt int 10 & info [ "iterations" ] ~doc:"Iterations.")
+  in
+  let run mm nodes grid iterations =
+    let r =
+      Asvm_workloads.Sor.run ~mm { Asvm_workloads.Sor.grid; nodes; iterations }
+    in
+    Printf.printf
+      "SOR %dx%d, %d iterations on %d nodes under %s: %.3f s (%d page faults)\n"
+      grid grid iterations nodes (Config.mm_name mm)
+      r.Asvm_workloads.Sor.seconds r.Asvm_workloads.Sor.faults
+  in
+  Cmd.v
+    (Cmd.info "sor" ~doc:"Strip-partitioned SOR stencil (nearest-neighbour SVM).")
+    Term.(const run $ mm_term $ nodes_term $ grid_term $ iter_term)
+
+let () =
+  let doc = "ASVM multicomputer simulator (USENIX '96 reproduction)" in
+  let info = Cmd.info "asvm-sim" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval (Cmd.group info [ fault_cmd; chain_cmd; file_cmd; em3d_cmd; sor_cmd ]))

@@ -1,0 +1,1 @@
+examples/em3d_demo.ml: Asvm_cluster Asvm_workloads List Printf

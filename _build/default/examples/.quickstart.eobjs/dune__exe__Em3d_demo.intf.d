@@ -1,0 +1,1 @@
+examples/em3d_demo.mli:

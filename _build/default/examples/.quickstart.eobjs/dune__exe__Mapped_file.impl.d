@@ -1,0 +1,1 @@
+examples/mapped_file.ml: Asvm_cluster Asvm_machvm Asvm_workloads List Printf

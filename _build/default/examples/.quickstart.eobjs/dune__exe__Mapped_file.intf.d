@@ -1,0 +1,1 @@
+examples/mapped_file.mli:

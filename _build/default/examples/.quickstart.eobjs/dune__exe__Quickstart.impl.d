@@ -1,0 +1,1 @@
+examples/quickstart.ml: Asvm_cluster Asvm_core Asvm_machvm List Printf String

@@ -1,0 +1,1 @@
+examples/task_migration.ml: Asvm_cluster Asvm_machvm Asvm_workloads List Option Printf

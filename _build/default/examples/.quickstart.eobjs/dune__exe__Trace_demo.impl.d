@@ -1,0 +1,1 @@
+examples/trace_demo.ml: Asvm_cluster Asvm_machvm Asvm_simcore Format Printf

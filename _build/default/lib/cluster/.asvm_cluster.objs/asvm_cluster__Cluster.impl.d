@@ -1,0 +1,1 @@
+lib/cluster/cluster.ml: Array Asvm_core Asvm_machvm Asvm_mesh Asvm_pager Asvm_simcore Asvm_xmm Config Fun Hashtbl List Option Printf

@@ -1,0 +1,1 @@
+lib/cluster/cluster.mli: Asvm_core Asvm_machvm Asvm_pager Asvm_simcore Asvm_xmm Config

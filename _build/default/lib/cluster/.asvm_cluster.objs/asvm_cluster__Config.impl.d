@@ -1,0 +1,1 @@
+lib/cluster/config.ml: Asvm_core Asvm_machvm Asvm_mesh Asvm_norma Asvm_pager

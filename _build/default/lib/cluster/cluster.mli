@@ -1,0 +1,147 @@
+(** A simulated multicomputer: N nodes, each running the Mach VM model,
+    connected by the mesh, managed by either ASVM or the XMM baseline.
+
+    This is the library's main entry point: create a cluster, create
+    shared or private memory, create tasks, touch/read/write memory and
+    fork tasks across nodes — all asynchronously against the simulated
+    clock. *)
+
+type t
+
+type task = { tk_node : int; tk_id : Asvm_machvm.Ids.task_id }
+
+val create : Config.t -> t
+
+val config : t -> Config.t
+val engine : t -> Asvm_simcore.Engine.t
+val now : t -> float
+
+(** Run the event loop until it drains (or [until]). *)
+val run : ?until:float -> t -> unit
+
+val node_vm : t -> int -> Asvm_machvm.Vm.t
+
+(** The memory manager backend, for manager-specific statistics. *)
+val backend :
+  t -> [ `Asvm of Asvm_core.Asvm.t | `Xmm of Asvm_xmm.Xmm.t ]
+
+val default_pager : t -> Asvm_pager.Store_pager.t
+
+(** The protocol tracer, when [Config.trace_capacity] is set. *)
+val tracer : t -> Asvm_simcore.Tracer.t option
+
+(** {1 Memory objects} *)
+
+(** Create a distributed memory object shared by [sharers]. Anonymous
+    (zero-filled) contents; backed by the default pager on the I/O node.
+    [manager_node] places the XMM centralized manager (default: the I/O
+    node); ASVM ignores it. *)
+val create_shared_object :
+  t ->
+  size_pages:int ->
+  sharers:int list ->
+  ?manager_node:int ->
+  ?forwarding:Asvm_core.Asvm.forwarding ->
+  unit ->
+  Asvm_machvm.Ids.obj_id
+
+(** Create a memory-mapped file object: dedicated file pager(s) on the
+    I/O node(s), preloaded with [data word] for every word of the file
+    ([data] absent = new file = zeros supplied from memory).
+    [stripes > 1] spreads the file over that many pager tasks on
+    distinct nodes, served round-robin by page — the PFS-style striping
+    of the paper's section 6 (ASVM only). *)
+val create_file_object :
+  t ->
+  size_pages:int ->
+  sharers:int list ->
+  ?manager_node:int ->
+  ?data:(int -> int) ->
+  ?stripes:int ->
+  unit ->
+  Asvm_machvm.Ids.obj_id
+
+(** Create a node-private anonymous object (no manager involvement until
+    it is inherited across nodes by a fork). *)
+val create_private_object :
+  t -> node:int -> size_pages:int -> Asvm_machvm.Ids.obj_id
+
+(** {1 Tasks} *)
+
+val create_task : t -> node:int -> task
+
+(** Map an object into a task. [inherit_] controls fork behaviour:
+    [Inherit_share] children share; [Inherit_copy] children get a
+    delayed copy. @raise Invalid_argument on overlap. *)
+val map :
+  t ->
+  task:task ->
+  obj:Asvm_machvm.Ids.obj_id ->
+  start:int ->
+  npages:int ->
+  inherit_:Asvm_machvm.Address_map.inheritance ->
+  unit
+
+(** {1 Memory access (asynchronous)} *)
+
+val touch :
+  t -> task:task -> vpage:int -> want:Asvm_machvm.Prot.t -> (unit -> unit) -> unit
+
+val read_word : t -> task:task -> addr:int -> (int -> unit) -> unit
+val write_word : t -> task:task -> addr:int -> value:int -> (unit -> unit) -> unit
+
+(** {1 Fork} *)
+
+(** [fork t ~task ~dst_node k] creates a child task on [dst_node] whose
+    address space inherits the parent's per the entries' inheritance
+    attributes, and passes it to [k] when the copy relationships are
+    established.
+
+    Under ASVM this follows paper section 3.7: a shared mapping of each
+    inherited object is established on the destination, a local
+    asymmetric copy is made there, and all nodes sharing the source mark
+    their resident pages read-only. Node-local source objects are first
+    promoted to distributed ones.
+
+    Under XMM it follows section 2.3.3: a local copy of the source
+    address space, re-exported through an internal pager; faults from
+    the child cross one NORMA round trip per copy-chain stage.
+
+    @raise Failure under XMM when an entry would copy-inherit a shared
+    object — the NMK13 semantic gap the paper notes in section 2.3. *)
+val fork : t -> task:task -> dst_node:int -> (task -> unit) -> unit
+
+(** {1 Synchronization} *)
+
+module Barrier : sig
+  type cluster = t
+  type t
+
+  val create : cluster -> parties:int -> t
+
+  (** [arrive b k]: [k] fires once all parties arrived (plus the
+      configured barrier cost). The barrier then resets for reuse. *)
+  val arrive : t -> (unit -> unit) -> unit
+end
+
+(** {1 Statistics} *)
+
+(** The pager task(s) behind an object created through this module. *)
+val object_pagers :
+  t -> Asvm_machvm.Ids.obj_id -> Asvm_pager.Store_pager.t list
+
+(** {1 Range locking (ASVM only; paper section 6)} *)
+
+(** [lock_range t ~task ~start ~npages k]: acquire write ownership of
+    every page in the range and pin it to this node; remote requests
+    queue at the owner until {!unlock_range}. Gives the atomicity a
+    striped Unix filesystem needs for read/write system calls.
+    @raise Failure under XMM, which has no such primitive. *)
+val lock_range : t -> task:task -> start:int -> npages:int -> (unit -> unit) -> unit
+
+val unlock_range : t -> task:task -> start:int -> npages:int -> unit
+
+(** Messages sent by the memory-management protocol (XMMI or ASVM). *)
+val protocol_messages : t -> int
+
+val network_bytes : t -> int

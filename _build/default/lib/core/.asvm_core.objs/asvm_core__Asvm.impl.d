@@ -1,0 +1,1 @@
+lib/core/asvm.ml: Array Asvm_machvm Asvm_pager Asvm_simcore Asvm_sts Bytes Hashtbl Hint_cache List Option Printf Queue String Sys

@@ -1,0 +1,1 @@
+lib/core/asvm.mli: Asvm_machvm Asvm_mesh Asvm_pager Asvm_simcore Asvm_sts

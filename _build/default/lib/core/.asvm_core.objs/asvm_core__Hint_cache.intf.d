@@ -1,0 +1,1 @@
+lib/core/hint_cache.mli:

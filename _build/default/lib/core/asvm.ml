@@ -1,0 +1,1603 @@
+module Engine = Asvm_simcore.Engine
+module Stats = Asvm_simcore.Stats
+module Sts = Asvm_sts.Sts
+module Vm = Asvm_machvm.Vm
+module Prot = Asvm_machvm.Prot
+module Contents = Asvm_machvm.Contents
+module Emmi = Asvm_machvm.Emmi
+module Ids = Asvm_machvm.Ids
+module Store_pager = Asvm_pager.Store_pager
+
+type forwarding = { dynamic : bool; static : bool }
+
+let all_forwarding = { dynamic = true; static = true }
+
+type config = {
+  sts : Sts.config;
+  dynamic_cache_pages : int;
+  static_cache_pages : int;
+  forwarding : forwarding;
+  internode_paging : bool;
+}
+
+let default_config =
+  {
+    sts = Sts.default_config;
+    dynamic_cache_pages = 256;
+    static_cache_pages = 4096;
+    forwarding = all_forwarding;
+    internode_paging = true;
+  }
+
+(* Static-manager hints (paper figure 6): besides a node reference, the
+   cache can record that a page was never initialized (fresh) or has
+   been paged out (paged). *)
+type shint = S_at of int | S_fresh | S_paged
+
+type rkind = K_fault | K_pull | K_push_scan
+
+type request = {
+  r_origin : int;  (** faulting node *)
+  r_origin_obj : Ids.obj_id;  (** object the answer is supplied into *)
+  mutable r_obj : Ids.obj_id;  (** object currently being searched *)
+  r_page : int;
+  r_want : Prot.t;
+  r_upgrade : bool;
+  r_scan_home : Ids.obj_id;  (** for push scans: source object waiting *)
+  mutable r_hops : int;
+  mutable r_ring : int;  (** -1 = not sweeping; else the sweep's start node *)
+  r_kind : rkind;
+}
+
+type msg =
+  | A_request of request
+  | A_pager_lookup of request
+  | A_pull of request
+  | A_reply of {
+      origin_obj : Ids.obj_id;
+      page : int;
+      contents : Contents.t option;  (** [None] = zero fill *)
+      grant : Prot.t;
+      owner : bool;
+      readers : int list;
+      version : int;
+      dirty : bool;
+      from : int;
+    }
+  | A_grant of { obj : Ids.obj_id; page : int; version : int; from : int }
+  | A_invalidate of { obj : Ids.obj_id; page : int; new_owner : int; from : int }
+  | A_inval_ack of { obj : Ids.obj_id; page : int }
+  | A_owner_update of { obj : Ids.obj_id; page : int; hint : shint }
+  | A_reader_query of {
+      obj : Ids.obj_id;
+      page : int;
+      from : int;
+      dirty : bool;
+      rest : int list;
+      version : int;
+    }
+  | A_reader_answer of { obj : Ids.obj_id; page : int; from : int; accepted : bool }
+  | A_transfer_offer of { obj : Ids.obj_id; page : int; from : int }
+  | A_transfer_answer of { obj : Ids.obj_id; page : int; from : int; accepted : bool }
+  | A_transfer_page of {
+      obj : Ids.obj_id;
+      page : int;
+      contents : Contents.t;
+      dirty : bool;
+      version : int;
+    }
+  | A_pager_offer of { obj : Ids.obj_id; page : int; from : int }
+  | A_pager_grant of { obj : Ids.obj_id; page : int }
+  | A_to_pager of { obj : Ids.obj_id; page : int; contents : Contents.t option }
+  | A_copy_made of {
+      obj : Ids.obj_id;
+      peer : int;
+      shared : Ids.obj_id option;
+      new_version : int;
+      from : int;
+    }
+  | A_copy_shared of {
+      obj : Ids.obj_id;
+      copy : Ids.obj_id;
+      peer : int;
+      from : int;
+    }
+  | A_copy_ack of { obj : Ids.obj_id }
+  | A_push_lock of { obj : Ids.obj_id; page : int; from : int }
+  | A_push_lock_done of {
+      obj : Ids.obj_id;
+      page : int;
+      from : int;
+      needs_contents : bool;
+    }
+  | A_push_contents of {
+      obj : Ids.obj_id;
+      page : int;
+      contents : Contents.t;
+      from : int;
+    }
+  | A_push_ack of { home : Ids.obj_id; page : int }
+  | A_push_prepare of {
+      copy : Ids.obj_id;
+      home : Ids.obj_id;
+      page : int;
+      from : int;
+    }
+  | A_push_ready of { copy : Ids.obj_id; home : Ids.obj_id; page : int }
+  | A_push_to_copy of {
+      copy : Ids.obj_id;
+      home : Ids.obj_id;
+      page : int;
+      contents : Contents.t;
+      from : int;
+    }
+  | A_scan_answer of {
+      home : Ids.obj_id;
+      page : int;
+      copy : Ids.obj_id;
+      found : bool;
+    }
+  | A_retry of {
+      origin_obj : Ids.obj_id;
+      page : int;
+      want : Prot.t;
+      upgrade : bool;
+    }
+
+(* Owner-side state for one page. Its existence in [i_pages] means this
+   node owns the page; state is created/destroyed with ownership, so the
+   memory footprint is tied to residency (design rule 2). *)
+type pstate = {
+  mutable p_readers : int list;
+  mutable p_version : int;  (** pushes complete up to this object version *)
+  mutable p_busy : bool;
+  mutable p_pushing : bool;
+  p_queue : request Queue.t;
+  p_retries : request Queue.t;  (** pulls held during a push (3.7.3) *)
+  mutable p_acks : int;  (** outstanding invalidation acks *)
+  mutable p_ack_k : unit -> unit;
+}
+
+type push_op = {
+  mutable o_outstanding : int;
+  mutable o_need_nodes : int list;
+  mutable o_need_copies : (Ids.obj_id * int) list;  (** (copy, peer) *)
+  mutable o_contents : Contents.t option;  (** frozen contents for phase 2 *)
+  mutable o_k : unit -> unit;
+}
+
+type inst = {
+  i_node : int;
+  i_obj : Ids.obj_id;
+  i_size : int;
+  i_sharers : int array;
+  i_fwd : forwarding;
+  i_pagers : Store_pager.t array;
+      (** the object's pager tasks; page p is served by pager (p mod n) —
+          round-robin striping, the paper's section 6 proposal *)
+  i_shadow : (Ids.obj_id * int) option;
+  mutable i_version : int;
+  mutable i_copies : (Ids.obj_id * int) list;
+  i_pages : (int, pstate) Hashtbl.t;
+  i_dyn : int Hint_cache.t;
+  i_static : shint Hint_cache.t;
+  i_seen : Bytes.t;  (** static-manager role: page ever had an owner *)
+  mutable i_pageout_counter : int;
+  mutable i_last_acceptor : int option;
+  i_push_ops : (int, push_op) Hashtbl.t;
+  (* continuations waiting for a boolean answer (reader query, transfer
+     offer), keyed by page *)
+  i_answers : (int, bool -> unit) Hashtbl.t;
+  (* pages this node has its own fault request in flight for; foreign
+     requests arriving meanwhile park here until ownership lands *)
+  i_outstanding : (int, unit) Hashtbl.t;
+  i_waiting_inbound : (int, request Queue.t) Hashtbl.t;
+  (* pager-node role: page -> node the pager last granted the page to;
+     serializes simultaneous cold faults on one page (single-owner) *)
+  i_granted : (int, int) Hashtbl.t;
+  mutable i_copy_acks : int;
+  mutable i_copy_k : unit -> unit;
+}
+
+type t = {
+  sts : msg Sts.t;
+  vms : Vm.t array;
+  wpp : int;
+  config : config;
+  insts : (int * Ids.obj_id, inst) Hashtbl.t;
+  counters : Stats.Counters.t;
+  tracer : Asvm_simcore.Tracer.t option;
+}
+
+let counters t = t.counters
+let sts_messages t = Sts.messages t.sts
+let sts_page_messages t = Sts.page_messages t.sts
+
+let inst t node obj =
+  match Hashtbl.find_opt t.insts (node, obj) with
+  | Some i -> i
+  | None ->
+    failwith (Printf.sprintf "Asvm: no instance of obj#%d on node %d" obj node)
+
+let debug_msgs = Sys.getenv_opt "ASVM_DEBUG" <> None
+
+let tag_of_msg = function
+  | A_request _ -> "request"
+  | A_pager_lookup _ -> "pager_lookup"
+  | A_pull _ -> "pull"
+  | A_reply { page; grant; owner; _ } ->
+    Printf.sprintf "reply(page=%d grant=%s owner=%b)" page (Prot.to_string grant) owner
+  | A_grant _ -> "grant"
+  | A_invalidate _ -> "invalidate"
+  | A_inval_ack _ -> "inval_ack"
+  | A_owner_update _ -> "owner_update"
+  | A_reader_query _ -> "reader_query"
+  | A_reader_answer _ -> "reader_answer"
+  | A_transfer_offer _ -> "transfer_offer"
+  | A_transfer_answer _ -> "transfer_answer"
+  | A_transfer_page _ -> "transfer_page"
+  | A_pager_offer _ -> "pager_offer"
+  | A_pager_grant _ -> "pager_grant"
+  | A_to_pager _ -> "to_pager"
+  | A_copy_made _ -> "copy_made"
+  | A_copy_shared _ -> "copy_shared"
+  | A_copy_ack _ -> "copy_ack"
+  | A_push_lock _ -> "push_lock"
+  | A_push_lock_done _ -> "push_lock_done"
+  | A_push_contents _ -> "push_contents"
+  | A_push_ack _ -> "push_ack"
+  | A_push_prepare _ -> "push_prepare"
+  | A_push_ready _ -> "push_ready"
+  | A_push_to_copy _ -> "push_to_copy"
+  | A_scan_answer _ -> "scan_answer"
+  | A_retry _ -> "retry"
+
+let send t ~src ~dst ?carries_page msg =
+  if debug_msgs then
+    Printf.eprintf "[asvm] %d -> %d : %s%s\n%!" src dst (tag_of_msg msg)
+      (if carries_page = Some true then " [page]" else "");
+  (match t.tracer with
+  | Some _ ->
+    Asvm_simcore.Tracer.emit t.tracer
+      ~time:(Engine.now (Vm.engine t.vms.(src)))
+      ~node:src ~category:"asvm"
+      ~detail:
+        (Printf.sprintf "-> %d %s%s" dst (tag_of_msg msg)
+           (if carries_page = Some true then " [page]" else ""))
+  | None -> ());
+  Sts.send t.sts ~src ~dst ?carries_page msg
+
+let static_mgr i page = i.i_sharers.(page mod Array.length i.i_sharers)
+
+(* the pager responsible for a page: round-robin across the object's
+   pager tasks (one pager for ordinary objects; several for striped
+   files, paper section 6) *)
+let pager_of i page = i.i_pagers.(page mod Array.length i.i_pagers)
+
+let sharer_index i node =
+  let found = ref (-1) in
+  Array.iteri (fun idx n -> if n = node then found := idx) i.i_sharers;
+  !found
+
+let next_sharer i node =
+  let idx = sharer_index i node in
+  if idx < 0 then i.i_sharers.(0)
+  else i.i_sharers.((idx + 1) mod Array.length i.i_sharers)
+
+let zero t = Contents.zero ~words:t.wpp
+
+let add_reader ps node =
+  if not (List.mem node ps.p_readers) then ps.p_readers <- node :: ps.p_readers
+
+let new_pstate ~version =
+  {
+    p_readers = [];
+    p_version = version;
+    p_busy = false;
+    p_pushing = false;
+    p_queue = Queue.create ();
+    p_retries = Queue.create ();
+    p_acks = 0;
+    p_ack_k = ignore;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Hint maintenance                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let update_static t i ~page ~hint =
+  (* record at the page's static ownership manager *)
+  let sm = static_mgr i page in
+  if sm = i.i_node then begin
+    Hint_cache.put i.i_static ~page hint;
+    Bytes.set i.i_seen page '\001'
+  end
+  else send t ~src:i.i_node ~dst:sm (A_owner_update { obj = i.i_obj; page; hint })
+
+(* ------------------------------------------------------------------ *)
+(* Request forwarding (the redirector, paper 3.3/3.4)                 *)
+(* ------------------------------------------------------------------ *)
+
+let rec route_request t node req =
+  let i = inst t node req.r_obj in
+  match Hashtbl.find_opt i.i_pages req.r_page with
+  | Some ps -> owner_handle t node i ps req
+  | None ->
+    if
+      req.r_kind = K_fault
+      && req.r_origin <> node
+      && Hashtbl.mem i.i_outstanding req.r_page
+    then begin
+      (* this node's own fault for the page is in flight and will make
+         it the owner: park the foreign request until then *)
+      let q =
+        match Hashtbl.find_opt i.i_waiting_inbound req.r_page with
+        | Some q -> q
+        | None ->
+          let q = Queue.create () in
+          Hashtbl.add i.i_waiting_inbound req.r_page q;
+          q
+      in
+      Queue.push req q
+    end
+    else forward_request t node i req
+
+and forward_request t node i req =
+  req.r_hops <- req.r_hops + 1;
+  if req.r_ring >= 0 then sweep_step t node i req
+  else if req.r_hops > (2 * Array.length i.i_sharers) + 8 then begin
+    (* stale hint loop: abandon hints, fall back to a global sweep *)
+    Stats.Counters.incr t.counters "forward.loop_breaks";
+    start_sweep t node i req
+  end
+  else begin
+    let hint =
+      if i.i_fwd.dynamic then Hint_cache.find i.i_dyn ~page:req.r_page else None
+    in
+    match hint with
+    | Some target when target <> node ->
+      Stats.Counters.incr t.counters "forward.dynamic";
+      (* Note: Li's hint-chain collapse ("the originator becomes the
+         next owner", paper 3.2) is deliberately NOT applied here at
+         forwarding nodes. With concurrent writers, speculative hints to
+         not-yet-owners can form cycles in which each requester parks
+         the other's request. Hints are updated only by authoritative
+         events — the granting owner, invalidations, replies and the
+         serialized static-manager claims — which keeps the
+         request-parking relation acyclic (see test_cluster soak). *)
+      send t ~src:node ~dst:target (A_request req)
+    | Some _ | None ->
+      if i.i_fwd.static then begin
+        let sm = static_mgr i req.r_page in
+        if sm <> node then begin
+          Stats.Counters.incr t.counters "forward.to_static";
+          send t ~src:node ~dst:sm (A_request req)
+        end
+        else consult_static t node i req
+      end
+      else start_sweep t node i req
+  end
+
+and consult_static t node i req =
+  (* When the request leaves for the pager (or is zero-granted), the
+     origin is about to become the owner: record that now so that
+     simultaneous requests for the same page chase the origin instead of
+     each being granted an owner by the pager. *)
+  let claim_for_origin () =
+    if req.r_kind <> K_push_scan then begin
+      Hint_cache.put i.i_static ~page:req.r_page (S_at req.r_origin);
+      Bytes.set i.i_seen req.r_page '\001'
+    end
+  in
+  match Hint_cache.find i.i_static ~page:req.r_page with
+  | Some (S_at target) when target <> node ->
+    Stats.Counters.incr t.counters "forward.static_hit";
+    send t ~src:node ~dst:target (A_request req)
+  | Some S_fresh ->
+    Stats.Counters.incr t.counters "forward.fresh_hint";
+    claim_for_origin ();
+    conclude_fresh t node i req
+  | Some S_paged ->
+    Stats.Counters.incr t.counters "forward.paged_hint";
+    claim_for_origin ();
+    to_pager_lookup t node i req
+  | Some (S_at _) (* stale self-reference *) | None ->
+    if Bytes.get i.i_seen req.r_page = '\000' then begin
+      (* the page never had an owner: only the pager (or, for a copy
+         object, the shadow chain behind it) can have data *)
+      claim_for_origin ();
+      to_pager_lookup t node i req
+    end
+    else start_sweep t node i req
+
+and to_pager_lookup t node i req =
+  let pnode = Store_pager.node (pager_of i req.r_page) in
+  if pnode = node then pager_lookup t node i req
+  else send t ~src:node ~dst:pnode (A_pager_lookup req)
+
+and start_sweep t node i req =
+  Stats.Counters.incr t.counters "forward.global_sweeps";
+  req.r_ring <- node;
+  let next = next_sharer i node in
+  if next = node then end_of_search t node i req
+  else send t ~src:node ~dst:next (A_request req)
+
+and sweep_step t node i req =
+  let next = next_sharer i node in
+  if next = req.r_ring then end_of_search t node i req
+  else send t ~src:node ~dst:next (A_request req)
+
+(* The sweep (or hint path) found no owner anywhere. *)
+and end_of_search t node i req =
+  req.r_ring <- -1;
+  to_pager_lookup t node i req
+
+(* Executed on the pager's node. *)
+and pager_lookup t node i req =
+  let escalated = req.r_hops > 4 * (Array.length i.i_sharers + 2) in
+  match Hashtbl.find_opt i.i_granted req.r_page with
+  | Some holder
+    when req.r_kind <> K_push_scan && holder <> req.r_origin && not escalated
+    ->
+    (* the pager already handed this page to someone: chase the holder
+       instead of creating a second owner *)
+    send t ~src:node ~dst:holder (A_request req)
+  | _ ->
+  if Store_pager.has (pager_of i req.r_page) ~obj:req.r_obj ~page:req.r_page
+  then begin
+    match req.r_kind with
+    | K_push_scan ->
+      (* the copy object's page lives at the pager: push unnecessary *)
+      send t ~src:node ~dst:req.r_origin
+        (A_scan_answer
+           { home = req.r_scan_home; page = req.r_page; copy = req.r_origin_obj; found = true })
+    | K_fault | K_pull ->
+      Stats.Counters.incr t.counters "pager.supplies";
+      Hashtbl.replace i.i_granted req.r_page req.r_origin;
+      Store_pager.request (pager_of i req.r_page) ~obj:req.r_obj ~page:req.r_page ~words:t.wpp
+        (fun contents ->
+          update_static t i ~page:req.r_page ~hint:(S_at req.r_origin);
+          send t ~src:node ~dst:req.r_origin ~carries_page:true
+            (A_reply
+               {
+                 origin_obj = req.r_origin_obj;
+                 page = req.r_page;
+                 contents = Some contents;
+                 grant = req.r_want;
+                 owner = true;
+                 readers = [];
+                 version = 0;
+                 dirty = false;
+                 from = node;
+               }))
+  end
+  else
+    match req.r_kind with
+    | K_push_scan ->
+      send t ~src:node ~dst:req.r_origin
+        (A_scan_answer
+           { home = req.r_scan_home; page = req.r_page; copy = req.r_origin_obj; found = false })
+    | K_fault | K_pull -> (
+      match i.i_shadow with
+      | Some (_src, peer) ->
+        (* a copy object with no owner and nothing paged: walk the
+           shadow chain on the peer node (figure 9); pulls continue
+           stage by stage until the end of the chain *)
+        Stats.Counters.incr t.counters "copy.pulls";
+        send t ~src:node ~dst:peer (A_pull req)
+      | None -> conclude_fresh t node i req)
+
+(* The page was never written anywhere: grant a zero-filled page. *)
+and conclude_fresh t node i req =
+  match req.r_kind with
+  | K_push_scan ->
+    send t ~src:node ~dst:req.r_origin
+      (A_scan_answer
+         { home = req.r_scan_home; page = req.r_page; copy = req.r_origin_obj; found = false })
+  | K_fault | K_pull ->
+    Stats.Counters.incr t.counters "zero_grants";
+    if node = Store_pager.node (pager_of i req.r_page) then
+      Hashtbl.replace i.i_granted req.r_page req.r_origin;
+    update_static t i ~page:req.r_page ~hint:(S_at req.r_origin);
+    send t ~src:node ~dst:req.r_origin
+      (A_reply
+         {
+           origin_obj = req.r_origin_obj;
+           page = req.r_page;
+           contents = None;
+           grant = req.r_want;
+           owner = true;
+           readers = [];
+           version = 0;
+           dirty = false;
+           from = node;
+         })
+
+(* ------------------------------------------------------------------ *)
+(* Owner-side state machine (paper 3.5, figure 7)                     *)
+(* ------------------------------------------------------------------ *)
+
+and owner_handle t node i ps req =
+  match req.r_kind with
+  | K_push_scan ->
+    (* an owner exists in the copy object: the push can be cancelled *)
+    send t ~src:node ~dst:req.r_origin
+      (A_scan_answer
+         { home = req.r_scan_home; page = req.r_page; copy = req.r_obj; found = true })
+  | K_pull ->
+    if ps.p_pushing then Queue.push req ps.p_retries
+    else reply_pull t node i ps req
+  | K_fault ->
+    if ps.p_busy then Queue.push req ps.p_queue
+    else begin
+      ps.p_busy <- true;
+      Vm.wire t.vms.(node) ~obj:req.r_obj ~page:req.r_page;
+      if Prot.equal req.r_want Prot.Read_write then
+        owner_write_grant t node i ps req
+      else owner_read_grant t node i ps req
+    end
+
+(* A pull wants the frozen snapshot value: reply contents without
+   registering a reader or moving ownership. *)
+and reply_pull t node _i ps req =
+  ignore ps;
+  match Vm.frame_contents t.vms.(node) ~obj:req.r_obj ~page:req.r_page with
+  | Some contents ->
+    send t ~src:node ~dst:req.r_origin ~carries_page:true
+      (A_reply
+         {
+           origin_obj = req.r_origin_obj;
+           page = req.r_page;
+           contents = Some contents;
+           grant = req.r_want;
+           owner = true;
+           readers = [];
+           version = 0;
+           dirty = false;
+           from = node;
+         })
+  | None ->
+    (* owner invariant violated only transiently; treat as not found *)
+    forward_request t node (inst t node req.r_obj) req
+
+(* Transition 5: the owner grants read access and enters the requester
+   into its reader list. The owner's own write permission is revoked
+   {e before} the contents are captured — single writer or multiple
+   readers, never both. *)
+and owner_read_grant t node i ps req =
+  let vm = t.vms.(node) in
+  Vm.lock_request vm ~obj:req.r_obj ~page:req.r_page
+    ~op:{ Emmi.max_access = Prot.Read_only; clean = false; mode = Emmi.Lock_plain }
+    ~reply:(fun _ ->
+      match Vm.frame_contents vm ~obj:req.r_obj ~page:req.r_page with
+      | None ->
+        finish_owner_op t node i ps req.r_page ~moved_to:None;
+        forward_request t node i req
+      | Some contents ->
+        add_reader ps req.r_origin;
+        send t ~src:node ~dst:req.r_origin ~carries_page:true
+          (A_reply
+             {
+               origin_obj = req.r_origin_obj;
+               page = req.r_page;
+               contents = Some contents;
+               grant = Prot.Read_only;
+               owner = false;
+               readers = [];
+               version = ps.p_version;
+               dirty = false;
+               from = node;
+             });
+        finish_owner_op t node i ps req.r_page ~moved_to:(Some node))
+
+(* Transitions 4/6/7: write access moves ownership to the requester,
+   after pushing to copies and invalidating all read copies. *)
+and owner_write_grant t node i ps req =
+  let page = req.r_page in
+  run_push_if_needed t node i ps page (fun () ->
+      invalidate_readers t node i ps ~page ~except:req.r_origin (fun () ->
+          let vm = t.vms.(node) in
+          if req.r_origin = node then begin
+            (* transition 7: local upgrade; ownership stays here. Every
+               request holds a receive-buffer reservation at its origin
+               in case it has to leave the node; a locally granted one
+               never uses it. *)
+            Sts.release_buffer t.sts ~node;
+            Vm.lock_request vm ~obj:req.r_obj ~page
+              ~op:
+                {
+                  Emmi.max_access = Prot.Read_write;
+                  clean = false;
+                  mode = Emmi.Lock_plain;
+                }
+              ~reply:(fun _ -> ());
+            finish_owner_op t node i ps page ~moved_to:(Some node)
+          end
+          else
+            (* revoke our own write permission before capturing the
+               contents, so no local write slips past the transfer *)
+            Vm.lock_request vm ~obj:req.r_obj ~page
+              ~op:
+                {
+                  Emmi.max_access = Prot.Read_only;
+                  clean = false;
+                  mode = Emmi.Lock_plain;
+                }
+              ~reply:(fun _ ->
+                Stats.Counters.incr t.counters "ownership_transfers";
+                let was_reader = List.mem req.r_origin ps.p_readers in
+                if req.r_upgrade && was_reader then
+                  send t ~src:node ~dst:req.r_origin
+                    (A_grant
+                       { obj = req.r_obj; page; version = ps.p_version; from = node })
+                else begin
+                  let contents =
+                    match Vm.frame_contents vm ~obj:req.r_obj ~page with
+                    | Some c -> c
+                    | None -> zero t
+                  in
+                  let dirty = Vm.frame_dirty vm ~obj:req.r_obj ~page in
+                  send t ~src:node ~dst:req.r_origin ~carries_page:true
+                    (A_reply
+                       {
+                         origin_obj = req.r_origin_obj;
+                         page;
+                         contents = Some contents;
+                         grant = Prot.Read_write;
+                         owner = true;
+                         readers = [];
+                         version = ps.p_version;
+                         dirty;
+                         from = node;
+                       })
+                end;
+                (* the old owner flushes its own copy: single writer *)
+                Vm.unwire vm ~obj:req.r_obj ~page;
+                Vm.lock_request vm ~obj:req.r_obj ~page
+                  ~op:
+                    {
+                      Emmi.max_access = Prot.No_access;
+                      clean = false;
+                      mode = Emmi.Lock_plain;
+                    }
+                  ~reply:(fun _ -> ());
+                Hint_cache.put i.i_dyn ~page req.r_origin;
+                update_static t i ~page ~hint:(S_at req.r_origin);
+                finish_owner_op t node i ps page ~moved_to:(Some req.r_origin))))
+
+(* Transitions 6/7 prologue: flush every node in the reader list. *)
+and invalidate_readers t node i ps ~page ~except k =
+  let targets = List.filter (fun r -> r <> except && r <> node) ps.p_readers in
+  ps.p_readers <- [];
+  match targets with
+  | [] -> k ()
+  | _ ->
+    Stats.Counters.incr ~by:(List.length targets) t.counters "invalidations";
+    ps.p_acks <- List.length targets;
+    ps.p_ack_k <- k;
+    List.iter
+      (fun r ->
+        send t ~src:node ~dst:r
+          (A_invalidate { obj = i.i_obj; page; new_owner = except; from = node }))
+      targets
+
+(* Close an owner-side operation: drain queued work to wherever the
+   ownership now lives. *)
+and finish_owner_op t node i ps page ~moved_to =
+  let vm = t.vms.(node) in
+  let still_here = moved_to = Some node in
+  if still_here then begin
+    ps.p_busy <- false;
+    Vm.unwire vm ~obj:i.i_obj ~page;
+    match Queue.take_opt ps.p_queue with
+    | Some req -> route_request t node req
+    | None -> ()
+  end
+  else begin
+    Hashtbl.remove i.i_pages page;
+    let forward req =
+      match moved_to with
+      | Some target -> send t ~src:node ~dst:target (A_request req)
+      | None -> route_request t node req
+    in
+    Queue.iter forward ps.p_queue;
+    Queue.clear ps.p_queue
+  end;
+  (* pulls held during a push: tell their origins to retry (3.7.3) *)
+  Queue.iter
+    (fun req ->
+      send t ~src:node ~dst:req.r_origin
+        (A_retry
+           {
+             origin_obj = req.r_origin_obj;
+             page = req.r_page;
+             want = req.r_want;
+             upgrade = req.r_upgrade;
+           }))
+    ps.p_retries;
+  Queue.clear ps.p_retries
+
+(* ------------------------------------------------------------------ *)
+(* Push operations (paper 3.7.2)                                      *)
+(* ------------------------------------------------------------------ *)
+
+and run_push_if_needed t node i ps page k =
+  if ps.p_version >= i.i_version then k ()
+  else begin
+    Stats.Counters.incr t.counters "pushes";
+    ps.p_pushing <- true;
+    let vm = t.vms.(node) in
+    let contents =
+      match Vm.frame_contents vm ~obj:i.i_obj ~page with
+      | Some c -> c
+      | None -> zero t
+    in
+    let targets =
+      Array.to_list i.i_sharers |> List.filter (fun n -> n <> node)
+    in
+    let op =
+      {
+        o_outstanding = List.length targets + List.length i.i_copies + 1;
+        o_need_nodes = [];
+        o_need_copies = [];
+        o_contents = Some contents;
+        o_k = ignore;
+      }
+    in
+    op.o_k <-
+      (fun () ->
+        push_phase_two t node i ~page ~contents op (fun () ->
+            ps.p_version <- i.i_version;
+            ps.p_pushing <- false;
+            k ()));
+    Hashtbl.replace i.i_push_ops page op;
+    (* our own node's local copy chain *)
+    Vm.lock_request vm ~obj:i.i_obj ~page
+      ~op:{ Emmi.max_access = Prot.Read_only; clean = false; mode = Emmi.Lock_push_first }
+      ~reply:(fun _ -> push_op_done i ~page);
+    (* remote sharers: push down their local copy chains *)
+    List.iter
+      (fun target ->
+        send t ~src:node ~dst:target
+          (A_push_lock { obj = i.i_obj; page; from = node }))
+      targets;
+    (* shared copy objects: push scan through their forwarding (3.7.2) *)
+    List.iter
+      (fun (copy, peer) ->
+        Stats.Counters.incr t.counters "push_scans";
+        let req =
+          {
+            r_origin = node;
+            r_origin_obj = copy;
+            r_obj = copy;
+            r_page = page;
+            r_want = Prot.Read_only;
+            r_upgrade = false;
+            r_scan_home = i.i_obj;
+            r_hops = 0;
+            r_ring = -1;
+            r_kind = K_push_scan;
+          }
+        in
+        send t ~src:node ~dst:peer (A_request req))
+      i.i_copies
+  end
+
+and push_op_done i ~page =
+  match Hashtbl.find_opt i.i_push_ops page with
+  | None -> ()
+  | Some op ->
+    op.o_outstanding <- op.o_outstanding - 1;
+    if op.o_outstanding <= 0 then begin
+      Hashtbl.remove i.i_push_ops page;
+      op.o_k ()
+    end
+
+(* Phase 2: deliver the frozen contents to every sharer whose local copy
+   chain lacked the page, and to the peer of every shared copy object
+   the scans found empty. Completion waits for all acks so write access
+   is only granted once every copy holds the snapshot. *)
+and push_phase_two t node i ~page ~contents op k =
+  let sends = List.length op.o_need_nodes + List.length op.o_need_copies in
+  if sends = 0 then k ()
+  else begin
+    let op2 =
+      {
+        o_outstanding = sends;
+        o_need_nodes = [];
+        o_need_copies = [];
+        o_contents = Some contents;
+        o_k = k;
+      }
+    in
+    Hashtbl.replace i.i_push_ops page op2;
+    List.iter
+      (fun target ->
+        send t ~src:node ~dst:target ~carries_page:true
+          (A_push_contents { obj = i.i_obj; page; contents; from = node }))
+      op.o_need_nodes;
+    List.iter
+      (fun (copy, peer) ->
+        send t ~src:node ~dst:peer
+          (A_push_prepare { copy; home = i.i_obj; page; from = node }))
+      op.o_need_copies
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Internode paging (paper 3.6)                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* The kernel evicted a page this node owns: find the state a new home
+   following the four-step algorithm. *)
+and handle_eviction t node i ps ~page ~contents ~dirty =
+  ps.p_busy <- true;
+  query_readers t node i ps ~page ~contents ~dirty ps.p_readers
+
+(* Step 2: offer ownership to surviving readers, one after another. *)
+and query_readers t node i ps ~page ~contents ~dirty readers =
+  match readers with
+  | r :: rest ->
+    ps.p_readers <- rest;
+    Hashtbl.replace i.i_answers page (fun accepted ->
+        if accepted then begin
+          Stats.Counters.incr t.counters "pageout.reader_handoffs";
+          Hint_cache.put i.i_dyn ~page r;
+          finish_owner_op t node i ps page ~moved_to:(Some r)
+        end
+        else query_readers t node i ps ~page ~contents ~dirty rest);
+    send t ~src:node ~dst:r
+      (A_reader_query
+         { obj = i.i_obj; page; from = node; dirty; rest; version = ps.p_version })
+  | [] -> offer_transfer t node i ps ~page ~contents ~dirty
+
+(* Step 3: transfer the page to a node with free memory, chosen by the
+   adaptive cycling counter. *)
+and offer_transfer t node i ps ~page ~contents ~dirty =
+  if not t.config.internode_paging then
+    pageout_to_pager t node i ps ~page ~contents ~dirty
+  else
+  let n = Array.length i.i_sharers in
+  let pick () =
+    i.i_pageout_counter <- i.i_pageout_counter + 1;
+    let c = i.i_sharers.(i.i_pageout_counter mod n) in
+    if c = node then begin
+      i.i_pageout_counter <- i.i_pageout_counter + 1;
+      i.i_sharers.(i.i_pageout_counter mod n)
+    end
+    else c
+  in
+  let candidate = pick () in
+  let try_candidate target ~fallback =
+    if target = node then fallback ()
+    else begin
+      Hashtbl.replace i.i_answers page (fun accepted ->
+          if accepted then begin
+            Stats.Counters.incr t.counters "pageout.internode";
+            i.i_last_acceptor <- Some target;
+            Hint_cache.put i.i_dyn ~page target;
+            send t ~src:node ~dst:target ~carries_page:true
+              (A_transfer_page
+                 { obj = i.i_obj; page; contents; dirty; version = ps.p_version });
+            finish_owner_op t node i ps page ~moved_to:(Some target)
+          end
+          else fallback ());
+      send t ~src:node ~dst:target (A_transfer_offer { obj = i.i_obj; page; from = node })
+    end
+  in
+  let to_step4 () = pageout_to_pager t node i ps ~page ~contents ~dirty in
+  match i.i_last_acceptor with
+  | Some last when last <> candidate && last <> node ->
+    try_candidate candidate ~fallback:(fun () ->
+        try_candidate last ~fallback:to_step4)
+  | _ -> try_candidate candidate ~fallback:to_step4
+
+(* Step 4: return the page to the memory object's pager. A dirty page
+   carries contents, so the pager node first reserves a receive buffer
+   (pages only ever flow on behalf of their receiver). *)
+and pageout_to_pager t node i ps ~page ~contents ~dirty =
+  Stats.Counters.incr t.counters "pageout.to_pager";
+  let pnode = Store_pager.node (pager_of i page) in
+  let conclude () =
+    update_static t i ~page ~hint:S_paged;
+    finish_owner_op t node i ps page ~moved_to:None
+  in
+  if not dirty then begin
+    send t ~src:node ~dst:pnode (A_to_pager { obj = i.i_obj; page; contents = None });
+    conclude ()
+  end
+  else begin
+    Hashtbl.replace i.i_answers page (fun _granted ->
+        send t ~src:node ~dst:pnode ~carries_page:true
+          (A_to_pager { obj = i.i_obj; page; contents = Some contents });
+        conclude ());
+    send t ~src:node ~dst:pnode (A_pager_offer { obj = i.i_obj; page; from = node })
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Message handling                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Ship a dirty page to the object's pager from outside an owner op
+   (fallback paths), honouring the buffer handshake. *)
+let pager_store_handshake t node i ~page ~contents =
+  Hashtbl.replace i.i_answers page (fun _granted ->
+      send t ~src:node
+        ~dst:(Store_pager.node (pager_of i page))
+        ~carries_page:true
+        (A_to_pager { obj = i.i_obj; page; contents = Some contents }));
+  send t ~src:node
+    ~dst:(Store_pager.node (pager_of i page))
+    (A_pager_offer { obj = i.i_obj; page; from = node })
+
+let install_owner t node i ~page ~readers ~version ~dirty =
+  let ps = new_pstate ~version in
+  ps.p_readers <- readers;
+  Hashtbl.replace i.i_pages page ps;
+  if dirty then Vm.set_frame_dirty t.vms.(node) ~obj:i.i_obj ~page;
+  Hint_cache.remove i.i_dyn ~page;
+  Asvm_simcore.Tracer.emit t.tracer
+    ~time:(Engine.now (Vm.engine t.vms.(node)))
+    ~node ~category:"owner"
+    ~detail:(Printf.sprintf "obj#%d page %d ownership -> node %d" i.i_obj page node);
+  update_static t i ~page ~hint:(S_at node)
+
+(* Requests that parked here while our own fault was in flight are
+   re-routed once ownership (and the frame) have landed. *)
+let drain_inbound t node i page =
+  match Hashtbl.find_opt i.i_waiting_inbound page with
+  | None -> ()
+  | Some q ->
+    Hashtbl.remove i.i_waiting_inbound page;
+    let vm = t.vms.(node) in
+    let delay = 2. *. (Vm.config vm).Asvm_machvm.Vm_config.emmi_call_ms in
+    Queue.iter
+      (fun req -> Engine.schedule (Vm.engine vm) ~delay (fun () -> route_request t node req))
+      q
+
+let handle_reply t node (origin_obj, page, contents, grant, owner, readers, version, dirty, from) =
+  let i = inst t node origin_obj in
+  Sts.release_buffer t.sts ~node;
+  Hashtbl.remove i.i_outstanding page;
+  let vm = t.vms.(node) in
+  let c = match contents with Some c -> c | None -> zero t in
+  (* A write grant that did not come from a previous owner (pager
+     supply, zero fill, pull through the shadow chain) has not been
+     through the push machinery. If copies exist that the page has not
+     been pushed to, grant read-only: the kernel's upgrade fault then
+     re-enters the owner state machine here, which runs the push before
+     write access is given (3.7.2). *)
+  let effective_grant =
+    if owner && Prot.equal grant Prot.Read_write && version < i.i_version then
+      Prot.Read_only
+    else grant
+  in
+  Vm.data_supply vm ~obj:origin_obj ~page ~contents:c ~lock:effective_grant
+    ~mode:Emmi.Supply_normal;
+  if owner then install_owner t node i ~page ~readers ~version ~dirty
+  else Hint_cache.put i.i_dyn ~page from;
+  drain_inbound t node i page
+
+let reissue t node ~origin_obj ~page ~want ~upgrade =
+  let i = inst t node origin_obj in
+  ignore i;
+  let req =
+    {
+      r_origin = node;
+      r_origin_obj = origin_obj;
+      r_obj = origin_obj;
+      r_page = page;
+      r_want = want;
+      r_upgrade = upgrade;
+      r_scan_home = origin_obj;
+      r_hops = 0;
+      r_ring = -1;
+      r_kind = K_fault;
+    }
+  in
+  route_request t node req
+
+let rec handle t node msg =
+  match msg with
+  | A_request req -> route_request t node req
+  | A_pull req -> handle_pull t node req
+  | A_pager_lookup req ->
+    let i = inst t node req.r_obj in
+    pager_lookup t node i req
+  | A_reply { origin_obj; page; contents; grant; owner; readers; version; dirty; from } ->
+    handle_reply t node (origin_obj, page, contents, grant, owner, readers, version, dirty, from)
+  | A_grant { obj; page; version; from } ->
+    let i = inst t node obj in
+    Sts.release_buffer t.sts ~node;
+    Hashtbl.remove i.i_outstanding page;
+    if Vm.is_resident t.vms.(node) ~obj ~page then begin
+      Vm.lock_request t.vms.(node) ~obj ~page
+        ~op:{ Emmi.max_access = Prot.Read_write; clean = false; mode = Emmi.Lock_plain }
+        ~reply:(fun _ -> ());
+      install_owner t node i ~page ~readers:[] ~version ~dirty:false;
+      ignore from;
+      drain_inbound t node i page
+    end
+    else begin
+      (* the read copy vanished while the grant was in flight *)
+      let rec acquire () =
+        if Sts.reserve_buffer t.sts ~node then
+          reissue t node ~origin_obj:obj ~page ~want:Prot.Read_write
+            ~upgrade:false
+        else Engine.schedule (Vm.engine t.vms.(node)) ~delay:0.5 acquire
+      in
+      acquire ()
+    end
+  | A_invalidate { obj; page; new_owner; from } ->
+    (* transition 8 *)
+    let i = inst t node obj in
+    Vm.lock_request t.vms.(node) ~obj ~page
+      ~op:{ Emmi.max_access = Prot.No_access; clean = false; mode = Emmi.Lock_plain }
+      ~reply:(fun _ ->
+        Hint_cache.put i.i_dyn ~page new_owner;
+        send t ~src:node ~dst:from (A_inval_ack { obj; page }))
+  | A_inval_ack { obj; page } -> (
+    let i = inst t node obj in
+    match Hashtbl.find_opt i.i_pages page with
+    | Some ps ->
+      ps.p_acks <- ps.p_acks - 1;
+      if ps.p_acks <= 0 then begin
+        let k = ps.p_ack_k in
+        ps.p_ack_k <- ignore;
+        k ()
+      end
+    | None -> ())
+  | A_owner_update { obj; page; hint } ->
+    let i = inst t node obj in
+    Hint_cache.put i.i_static ~page hint;
+    Bytes.set i.i_seen page '\001'
+  | A_reader_query { obj; page; from; dirty; rest; version } ->
+    let i = inst t node obj in
+    let vm = t.vms.(node) in
+    if Vm.is_resident vm ~obj ~page then begin
+      (* accept ownership without a page transfer (step 2) *)
+      if dirty then Vm.set_frame_dirty vm ~obj ~page;
+      let ps = new_pstate ~version in
+      ps.p_readers <- List.filter (fun r -> r <> node) rest;
+      Hashtbl.replace i.i_pages page ps;
+      Hint_cache.remove i.i_dyn ~page;
+      update_static t i ~page ~hint:(S_at node);
+      send t ~src:node ~dst:from (A_reader_answer { obj; page; from = node; accepted = true })
+    end
+    else
+      send t ~src:node ~dst:from (A_reader_answer { obj; page; from = node; accepted = false })
+  | A_reader_answer { obj; page; from = _; accepted } -> (
+    let i = inst t node obj in
+    match Hashtbl.find_opt i.i_answers page with
+    | Some k ->
+      Hashtbl.remove i.i_answers page;
+      k accepted
+    | None -> ())
+  | A_transfer_offer { obj; page; from } ->
+    let accepted =
+      Vm.free_pages t.vms.(node) > 0 && Sts.reserve_buffer t.sts ~node
+    in
+    send t ~src:node ~dst:from (A_transfer_answer { obj; page; from = node; accepted })
+  | A_transfer_answer { obj; page; from = _; accepted } -> (
+    let i = inst t node obj in
+    match Hashtbl.find_opt i.i_answers page with
+    | Some k ->
+      Hashtbl.remove i.i_answers page;
+      k accepted
+    | None -> ())
+  | A_transfer_page { obj; page; contents; dirty; version } ->
+    let i = inst t node obj in
+    Sts.release_buffer t.sts ~node;
+    let vm = t.vms.(node) in
+    if
+      Vm.try_accept_page vm ~obj ~page ~contents ~dirty ~access:Prot.Read_only
+    then begin
+      let ps = new_pstate ~version in
+      Hashtbl.replace i.i_pages page ps;
+      Hint_cache.remove i.i_dyn ~page;
+      update_static t i ~page ~hint:(S_at node)
+    end
+    else begin
+      (* memory vanished since the offer: fall through to the pager *)
+      if dirty then pager_store_handshake t node i ~page ~contents
+      else
+        send t ~src:node
+          ~dst:(Store_pager.node (pager_of i page))
+          (A_to_pager { obj; page; contents = None });
+      update_static t i ~page ~hint:S_paged
+    end
+  | A_pager_offer { obj; page; from } ->
+    let rec acquire () =
+      if Sts.reserve_buffer t.sts ~node then
+        send t ~src:node ~dst:from (A_pager_grant { obj; page })
+      else Engine.schedule (Vm.engine t.vms.(node)) ~delay:1.0 acquire
+    in
+    acquire ()
+  | A_pager_grant { obj; page } -> (
+    let i = inst t node obj in
+    match Hashtbl.find_opt i.i_answers page with
+    | Some k ->
+      Hashtbl.remove i.i_answers page;
+      k true
+    | None -> ())
+  | A_to_pager { obj; page; contents } -> (
+    let i = inst t node obj in
+    Hashtbl.remove i.i_granted page;
+    match contents with
+    | Some c ->
+      Sts.release_buffer t.sts ~node;
+      Store_pager.store_async (pager_of i page) ~obj ~page ~contents:c
+    | None ->
+      if not (Store_pager.has (pager_of i page) ~obj ~page) then
+        (* a clean page that was never stored reverts to fresh *)
+        update_static t i ~page ~hint:S_fresh)
+  | A_copy_made { obj; peer; shared; new_version; from } ->
+    let i = inst t node obj in
+    i.i_version <- new_version;
+    (match shared with
+    | Some copy -> i.i_copies <- (copy, peer) :: i.i_copies
+    | None -> ());
+    Vm.lock_object_readonly t.vms.(node) obj;
+    send t ~src:node ~dst:from (A_copy_ack { obj })
+  | A_copy_shared { obj; copy; peer; from } ->
+    let i = inst t node obj in
+    if not (List.mem_assoc copy i.i_copies) then
+      i.i_copies <- (copy, peer) :: i.i_copies;
+    send t ~src:node ~dst:from (A_copy_ack { obj })
+  | A_copy_ack { obj } ->
+    let i = inst t node obj in
+    i.i_copy_acks <- i.i_copy_acks - 1;
+    if i.i_copy_acks <= 0 then begin
+      let k = i.i_copy_k in
+      i.i_copy_k <- ignore;
+      k ()
+    end
+  | A_push_lock { obj; page; from } ->
+    let vm = t.vms.(node) in
+    Vm.lock_request vm ~obj ~page
+      ~op:{ Emmi.max_access = Prot.Read_only; clean = false; mode = Emmi.Lock_push_first }
+      ~reply:(fun result ->
+        let needs_contents =
+          match result with
+          | Emmi.Lock_not_present -> Sts.reserve_buffer t.sts ~node
+          | Emmi.Lock_done _ -> false
+        in
+        send t ~src:node ~dst:from
+          (A_push_lock_done { obj; page; from = node; needs_contents }))
+  | A_push_lock_done { obj; page; from; needs_contents } -> (
+    let i = inst t node obj in
+    match Hashtbl.find_opt i.i_push_ops page with
+    | Some op ->
+      if needs_contents then op.o_need_nodes <- from :: op.o_need_nodes;
+      op.o_outstanding <- op.o_outstanding - 1;
+      if op.o_outstanding <= 0 then begin
+        Hashtbl.remove i.i_push_ops page;
+        op.o_k ()
+      end
+    | None -> ())
+  | A_push_contents { obj; page; contents; from } ->
+    Sts.release_buffer t.sts ~node;
+    Vm.data_supply t.vms.(node) ~obj ~page ~contents ~lock:Prot.Read_only
+      ~mode:Emmi.Supply_push;
+    send t ~src:node ~dst:from (A_push_ack { home = obj; page })
+  | A_push_ack { home; page } ->
+    push_op_done (inst t node home) ~page
+  | A_push_prepare { copy; home; page; from } ->
+    (* reserve a buffer for the incoming pushed page of a shared copy *)
+    if Sts.reserve_buffer t.sts ~node then
+      send t ~src:node ~dst:from (A_push_ready { copy; home; page })
+    else
+      Engine.schedule (Vm.engine t.vms.(node)) ~delay:1.0 (fun () ->
+          handle t node msg)
+  | A_push_ready { copy; home; page } -> (
+    let i = inst t node home in
+    match Hashtbl.find_opt i.i_push_ops page with
+    | Some op -> (
+      match op.o_contents with
+      | Some contents ->
+        let peer =
+          match List.assoc_opt copy i.i_copies with Some p -> p | None -> node
+        in
+        send t ~src:node ~dst:peer ~carries_page:true
+          (A_push_to_copy { copy; home; page; contents; from = node })
+      | None -> push_op_done i ~page)
+    | None -> ())
+  | A_push_to_copy { copy; home; page; contents; from } ->
+    let i = inst t node copy in
+    Sts.release_buffer t.sts ~node;
+    if
+      (* read-only and version 0: the frozen page has never been pushed
+         onward, so the copy's first write must fault back into the
+         owner machine and run its own push (nested copy chains) *)
+      Vm.try_accept_page t.vms.(node) ~obj:copy ~page ~contents ~dirty:true
+        ~access:Prot.Read_only
+    then begin
+      let ps = new_pstate ~version:0 in
+      Hashtbl.replace i.i_pages page ps;
+      update_static t i ~page ~hint:(S_at node)
+    end
+    else
+      (* no memory at the peer: the frozen page goes to the copy's pager *)
+      pager_store_handshake t node i ~page ~contents;
+    send t ~src:node ~dst:from (A_push_ack { home; page })
+  | A_scan_answer { home; page; copy; found } -> (
+    let i = inst t node home in
+    match Hashtbl.find_opt i.i_push_ops page with
+    | Some op ->
+      if not found then begin
+        let peer =
+          match List.assoc_opt copy i.i_copies with Some p -> p | None -> node
+        in
+        op.o_need_copies <- (copy, peer) :: op.o_need_copies
+      end;
+      op.o_outstanding <- op.o_outstanding - 1;
+      if op.o_outstanding <= 0 then begin
+        Hashtbl.remove i.i_push_ops page;
+        op.o_k ()
+      end
+    | None -> ())
+  | A_retry { origin_obj; page; want; upgrade } ->
+    Stats.Counters.incr t.counters "copy.retries";
+    reissue t node ~origin_obj ~page ~want ~upgrade
+
+and handle_pull t node req =
+  (* Executed on the peer node of a copy object: walk the local shadow
+     chain with the extended EMMI pull call (figure 9). *)
+  let vm = t.vms.(node) in
+  Vm.pull_request vm ~obj:req.r_obj ~page:req.r_page ~reply:(fun result ->
+      match result with
+      | Emmi.Pull_contents contents ->
+        send t ~src:node ~dst:req.r_origin ~carries_page:true
+          (A_reply
+             {
+               origin_obj = req.r_origin_obj;
+               page = req.r_page;
+               contents = Some contents;
+               grant = req.r_want;
+               owner = true;
+               readers = [];
+               version = 0;
+               dirty = false;
+               from = node;
+             })
+      | Emmi.Pull_zero_fill ->
+        send t ~src:node ~dst:req.r_origin
+          (A_reply
+             {
+               origin_obj = req.r_origin_obj;
+               page = req.r_page;
+               contents = None;
+               grant = req.r_want;
+               owner = true;
+               readers = [];
+               version = 0;
+               dirty = false;
+               from = node;
+             })
+      | Emmi.Pull_ask_shadow shadow_obj ->
+        (* continue the search in the shadow object's SVM space *)
+        req.r_obj <- shadow_obj;
+        req.r_ring <- -1;
+        let req = { req with r_kind = K_pull } in
+        route_request t node req)
+
+(* ------------------------------------------------------------------ *)
+(* Construction / registration                                        *)
+(* ------------------------------------------------------------------ *)
+
+let create ~net ~(config : config) ~vms ~words_per_page ?tracer () =
+  let sts = Sts.create net config.sts in
+  let t =
+    {
+      sts;
+      vms;
+      wpp = words_per_page;
+      config;
+      insts = Hashtbl.create 64;
+      counters = Stats.Counters.create ();
+      tracer;
+    }
+  in
+  Array.iteri (fun node _ -> Sts.register sts ~node (fun msg -> handle t node msg)) vms;
+  t
+
+let make_inst t ~node ~obj ~size_pages ~sharers ~pagers ~fwd ~shadow =
+  {
+    i_node = node;
+    i_obj = obj;
+    i_size = size_pages;
+    i_sharers = Array.of_list sharers;
+    i_fwd = fwd;
+    i_pagers = pagers;
+    i_shadow = shadow;
+    i_version = 0;
+    i_copies = [];
+    i_pages = Hashtbl.create 32;
+    i_dyn = Hint_cache.create ~capacity:t.config.dynamic_cache_pages;
+    i_static = Hint_cache.create ~capacity:t.config.static_cache_pages;
+    i_seen = Bytes.make size_pages '\000';
+    i_pageout_counter = 0;
+    i_last_acceptor = None;
+    i_push_ops = Hashtbl.create 8;
+    i_answers = Hashtbl.create 8;
+    i_outstanding = Hashtbl.create 8;
+    i_waiting_inbound = Hashtbl.create 8;
+    i_granted = Hashtbl.create 8;
+    i_copy_acks = 0;
+    i_copy_k = ignore;
+  }
+
+let register_object t ~obj ~size_pages ~sharers ~pagers ?forwarding ?shadow ()
+    =
+  (match pagers with
+  | [] -> invalid_arg "Asvm.register_object: at least one pager required"
+  | _ -> ());
+  let pagers = Array.of_list pagers in
+  let fwd = Option.value forwarding ~default:t.config.forwarding in
+  let pager_nodes =
+    Array.to_list (Array.map Store_pager.node pagers)
+    |> List.filter (fun n -> not (List.mem n sharers))
+    |> List.sort_uniq compare
+  in
+  let nodes = sharers @ pager_nodes in
+  List.iter
+    (fun node ->
+      Hashtbl.replace t.insts (node, obj)
+        (make_inst t ~node ~obj ~size_pages ~sharers ~pagers ~fwd ~shadow))
+    nodes;
+  (* EMMI manager proxy for each sharer's kernel *)
+  List.iter
+    (fun node ->
+      let request ~page ~desired ~upgrade =
+        let fire () =
+          let req =
+            {
+              r_origin = node;
+              r_origin_obj = obj;
+              r_obj = obj;
+              r_page = page;
+              r_want = desired;
+              r_upgrade = upgrade;
+              r_scan_home = obj;
+              r_hops = 0;
+              r_ring = -1;
+              r_kind = K_fault;
+            }
+          in
+          route_request t node req
+        in
+        let i = inst t node obj in
+        match Hashtbl.find_opt i.i_pages page with
+        | Some ps when upgrade ->
+          (* self-owned upgrade: run the owner machine locally. The
+             reservation covers the case where the request queues behind
+             an in-flight grant, ownership leaves, and the request is
+             forwarded off-node — its answer then carries a page. *)
+          let req =
+            {
+              r_origin = node;
+              r_origin_obj = obj;
+              r_obj = obj;
+              r_page = page;
+              r_want = desired;
+              r_upgrade = true;
+              r_scan_home = obj;
+              r_hops = 0;
+              r_ring = -1;
+              r_kind = K_fault;
+            }
+          in
+          let rec acquire () =
+            if Sts.reserve_buffer t.sts ~node then owner_handle t node i ps req
+            else Engine.schedule (Vm.engine t.vms.(node)) ~delay:0.5 acquire
+          in
+          acquire ()
+        | _ ->
+          if Hashtbl.mem i.i_outstanding page then
+            (* one request per page at a time: a second kernel request
+               (e.g. a write upgrade behind a read fault) is answered by
+               the kernel's own retry after the first reply lands — a
+               duplicate in-flight request could overwrite owner state
+               built meanwhile *)
+            ()
+          else begin
+            (* a page answer needs a preallocated receive buffer here;
+               requests wait when the pool is exhausted (flow control) *)
+            Hashtbl.replace i.i_outstanding page ();
+            let rec acquire () =
+              if Sts.reserve_buffer t.sts ~node then fire ()
+              else Engine.schedule (Vm.engine t.vms.(node)) ~delay:0.5 acquire
+            in
+            acquire ()
+          end
+      in
+      let manager =
+        {
+          Emmi.m_data_request =
+            (fun ~page ~desired -> request ~page ~desired ~upgrade:false);
+          m_data_unlock =
+            (fun ~page ~desired -> request ~page ~desired ~upgrade:true);
+          m_data_return =
+            (fun ~page ~contents ~dirty ->
+              let i = inst t node obj in
+              match Hashtbl.find_opt i.i_pages page with
+              | None -> () (* not the owner: simply discard (step 1) *)
+              | Some ps -> handle_eviction t node i ps ~page ~contents ~dirty);
+        }
+      in
+      Vm.set_manager t.vms.(node) obj (Some manager))
+    sharers
+
+let object_copied t ~src ~peer ~shared k =
+  let i = inst t peer src in
+  let new_version = i.i_version + 1 in
+  let sharers = Array.to_list i.i_sharers in
+  i.i_copy_acks <- List.length sharers;
+  i.i_copy_k <- k;
+  List.iter
+    (fun node ->
+      send t ~src:peer ~dst:node
+        (A_copy_made { obj = src; peer; shared; new_version; from = peer }))
+    sharers
+
+(* ------------------------------------------------------------------ *)
+(* Range locking (paper section 6, future work): pin pages this node
+   owns so remote requests queue until release — the primitive a
+   striped Unix filesystem needs for atomic read/write. *)
+(* ------------------------------------------------------------------ *)
+
+let hold_page t ~node ~obj ~page =
+  let i = inst t node obj in
+  match Hashtbl.find_opt i.i_pages page with
+  | Some ps when not ps.p_busy ->
+    ps.p_busy <- true;
+    Vm.wire t.vms.(node) ~obj ~page;
+    true
+  | Some _ | None -> false
+
+let release_page t ~node ~obj ~page =
+  let i = inst t node obj in
+  match Hashtbl.find_opt i.i_pages page with
+  | Some ps when ps.p_busy ->
+    (* stay owner; the owner-op epilogue drains queued requests *)
+    finish_owner_op t node i ps page ~moved_to:(Some node)
+  | Some _ | None -> ()
+
+let copy_promoted t ~src ~copy ~peer k =
+  let i = inst t peer src in
+  let sharers = Array.to_list i.i_sharers in
+  i.i_copy_acks <- List.length sharers;
+  i.i_copy_k <- k;
+  List.iter
+    (fun node ->
+      send t ~src:peer ~dst:node
+        (A_copy_shared { obj = src; copy; peer; from = peer }))
+    sharers
+
+let claim_residents t ~node ~obj =
+  let i = inst t node obj in
+  match Vm.find_object t.vms.(node) obj with
+  | None -> ()
+  | Some o ->
+    List.iter
+      (fun page ->
+        if not (Hashtbl.mem i.i_pages page) then begin
+          Hashtbl.replace i.i_pages page (new_pstate ~version:i.i_version);
+          update_static t i ~page ~hint:(S_at node)
+        end)
+      (Asvm_machvm.Vm_object.resident_pages o)
+
+let owner_entries t ~node ~obj =
+  match Hashtbl.find_opt t.insts (node, obj) with
+  | Some i -> Hashtbl.length i.i_pages
+  | None -> 0
+
+(* rough per-entry sizes of the real structures: an owner entry is a
+   reader list head + version + flags (~32 B); a hint is a page/node
+   pair (~16 B); the seen bitmap is 1 bit per page *)
+let state_bytes t ~node ~obj =
+  match Hashtbl.find_opt t.insts (node, obj) with
+  | Some i ->
+    (32 * Hashtbl.length i.i_pages)
+    + (16 * Hint_cache.size i.i_dyn)
+    + (16 * Hint_cache.size i.i_static)
+    + ((i.i_size + 7) / 8)
+  | None -> 0
+
+let is_owner t ~node ~obj ~page =
+  match Hashtbl.find_opt t.insts (node, obj) with
+  | Some i -> Hashtbl.mem i.i_pages page
+  | None -> false
+
+let readers t ~obj ~page =
+  let found = ref None in
+  Hashtbl.iter
+    (fun (_node, o) i ->
+      if o = obj then
+        match Hashtbl.find_opt i.i_pages page with
+        | Some ps -> found := Some ps.p_readers
+        | None -> ())
+    t.insts;
+  !found
+
+let check_invariants t =
+  let violations = ref [] in
+  let bad fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
+  (* group instances per object *)
+  let objects = Hashtbl.create 32 in
+  Hashtbl.iter
+    (fun (node, obj) i ->
+      let l = match Hashtbl.find_opt objects obj with Some l -> l | None -> [] in
+      Hashtbl.replace objects obj ((node, i) :: l))
+    t.insts;
+  Hashtbl.iter
+    (fun obj insts ->
+      let owners_of page =
+        List.filter_map
+          (fun (node, i) ->
+            match Hashtbl.find_opt i.i_pages page with
+            | Some ps -> Some (node, ps)
+            | None -> None)
+          insts
+      in
+      let size =
+        match insts with (_, i) :: _ -> i.i_size | [] -> 0
+      in
+      for page = 0 to size - 1 do
+        let owners = owners_of page in
+        (match owners with
+        | [] | [ _ ] -> ()
+        | many ->
+          bad "obj#%d page %d has %d owners: %s" obj page (List.length many)
+            (String.concat ","
+               (List.map (fun (n, _) -> string_of_int n) many)));
+        List.iter
+          (fun (node, ps) ->
+            if ps.p_busy then
+              bad "obj#%d page %d: owner %d stuck busy" obj page node;
+            if ps.p_pushing then
+              bad "obj#%d page %d: owner %d stuck pushing" obj page node;
+            if not (Queue.is_empty ps.p_queue) then
+              bad "obj#%d page %d: %d requests queued at idle owner %d" obj
+                page (Queue.length ps.p_queue) node;
+            if not (Vm.is_resident t.vms.(node) ~obj ~page) then
+              bad "obj#%d page %d: owner %d does not hold the page" obj page
+                node;
+            List.iter
+              (fun r ->
+                if r = node then
+                  bad "obj#%d page %d: owner %d lists itself as reader" obj
+                    page node)
+              ps.p_readers;
+            if
+              List.length (List.sort_uniq compare ps.p_readers)
+              <> List.length ps.p_readers
+            then bad "obj#%d page %d: duplicate readers" obj page)
+          owners
+      done;
+      (* kernel-level single writer: write access implies ownership *)
+      List.iter
+        (fun (node, i) ->
+          for page = 0 to size - 1 do
+            match Vm.frame_access t.vms.(node) ~obj ~page with
+            | Some Prot.Read_write when not (Hashtbl.mem i.i_pages page) ->
+              bad "obj#%d page %d: node %d has write access without ownership"
+                obj page node
+            | Some _ | None -> ()
+          done;
+          Hashtbl.iter
+            (fun page q ->
+              bad
+                "obj#%d: node %d still parks %d foreign requests for page %d \
+                 (outstanding=%b owner=%b resident=%b)"
+                obj node (Queue.length q) page
+                (Hashtbl.mem i.i_outstanding page)
+                (Hashtbl.mem i.i_pages page)
+                (Vm.is_resident t.vms.(node) ~obj ~page))
+            i.i_waiting_inbound;
+          if Hashtbl.length i.i_push_ops > 0 then
+            bad "obj#%d: node %d has unfinished push operations" obj node;
+          if Hashtbl.length i.i_answers > 0 then
+            bad "obj#%d: node %d awaits unanswered queries" obj node)
+        insts)
+    objects;
+  List.rev !violations

@@ -1,0 +1,56 @@
+(* LRU via a generation stamp per entry: small caches, scans on eviction
+   are cheap and keep the structure simple. *)
+
+type 'a entry = { value : 'a; mutable stamp : int }
+
+type 'a t = {
+  capacity : int;
+  table : (int, 'a entry) Hashtbl.t;
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ~capacity =
+  if capacity < 0 then invalid_arg "Hint_cache.create: negative capacity";
+  { capacity; table = Hashtbl.create (max 8 capacity); clock = 0; hits = 0; misses = 0 }
+
+let capacity t = t.capacity
+let size t = Hashtbl.length t.table
+
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+let evict_lru t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun page e ->
+      match !victim with
+      | None -> victim := Some (page, e.stamp)
+      | Some (_, s) -> if e.stamp < s then victim := Some (page, e.stamp))
+    t.table;
+  match !victim with Some (page, _) -> Hashtbl.remove t.table page | None -> ()
+
+let put t ~page value =
+  if t.capacity = 0 then ()
+  else begin
+    if (not (Hashtbl.mem t.table page)) && Hashtbl.length t.table >= t.capacity
+    then evict_lru t;
+    Hashtbl.replace t.table page { value; stamp = tick t }
+  end
+
+let find t ~page =
+  match Hashtbl.find_opt t.table page with
+  | Some e ->
+    e.stamp <- tick t;
+    t.hits <- t.hits + 1;
+    Some e.value
+  | None ->
+    t.misses <- t.misses + 1;
+    None
+
+let remove t ~page = Hashtbl.remove t.table page
+
+let hits t = t.hits
+let misses t = t.misses

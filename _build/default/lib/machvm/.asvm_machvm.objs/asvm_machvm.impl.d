@@ -1,0 +1,1 @@
+lib/machvm/asvm_machvm.ml: Address_map Backing Contents Emmi Ids Pmap Prot Vm Vm_config Vm_object

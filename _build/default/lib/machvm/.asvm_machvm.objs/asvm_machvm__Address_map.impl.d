@@ -1,0 +1,1 @@
+lib/machvm/address_map.ml: Format Ids Int List Prot Stdlib

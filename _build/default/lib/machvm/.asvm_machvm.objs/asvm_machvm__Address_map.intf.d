@@ -1,0 +1,1 @@
+lib/machvm/address_map.mli: Format Ids Prot

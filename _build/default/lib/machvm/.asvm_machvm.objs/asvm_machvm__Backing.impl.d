@@ -1,0 +1,1 @@
+lib/machvm/backing.ml: Contents Hashtbl Ids Option

@@ -1,0 +1,1 @@
+lib/machvm/backing.mli: Contents Ids

@@ -1,0 +1,1 @@
+lib/machvm/contents.mli: Format

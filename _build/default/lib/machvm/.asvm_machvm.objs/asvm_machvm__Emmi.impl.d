@@ -1,0 +1,1 @@
+lib/machvm/emmi.ml: Contents Format Ids Prot

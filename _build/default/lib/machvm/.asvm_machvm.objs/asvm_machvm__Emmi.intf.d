@@ -1,0 +1,1 @@
+lib/machvm/emmi.mli: Contents Format Ids Prot

@@ -1,0 +1,1 @@
+lib/machvm/ids.ml: Format

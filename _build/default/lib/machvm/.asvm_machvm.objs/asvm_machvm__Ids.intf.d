@@ -1,0 +1,1 @@
+lib/machvm/ids.mli: Format

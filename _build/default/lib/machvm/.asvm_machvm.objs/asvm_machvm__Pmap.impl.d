@@ -1,0 +1,1 @@
+lib/machvm/pmap.ml: Hashtbl Ids List Prot

@@ -1,0 +1,1 @@
+lib/machvm/pmap.mli: Ids Prot

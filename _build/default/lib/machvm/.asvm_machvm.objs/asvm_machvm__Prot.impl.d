@@ -1,0 +1,1 @@
+lib/machvm/prot.ml: Format Int

@@ -1,0 +1,1 @@
+lib/machvm/prot.mli: Format

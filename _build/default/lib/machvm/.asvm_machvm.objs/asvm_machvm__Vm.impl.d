@@ -1,0 +1,1 @@
+lib/machvm/vm.ml: Address_map Asvm_simcore Backing Contents Emmi Hashtbl Ids List Option Pmap Printf Prot Queue Vm_config Vm_object

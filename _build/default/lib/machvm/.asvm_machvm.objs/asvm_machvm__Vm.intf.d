@@ -1,0 +1,1 @@
+lib/machvm/vm.mli: Address_map Asvm_simcore Backing Contents Emmi Ids Prot Vm_config Vm_object

@@ -1,0 +1,1 @@
+lib/machvm/vm_config.mli:

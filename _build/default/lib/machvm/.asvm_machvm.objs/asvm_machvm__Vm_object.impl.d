@@ -1,0 +1,1 @@
+lib/machvm/vm_object.ml: Contents Emmi Hashtbl Ids List Option Prot

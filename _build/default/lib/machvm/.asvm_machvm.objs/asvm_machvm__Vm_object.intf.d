@@ -1,0 +1,1 @@
+lib/machvm/vm_object.mli: Contents Emmi Hashtbl Ids Prot

@@ -1,0 +1,14 @@
+(** The Mach virtual-memory model: objects, shadow/copy chains, address
+    maps, pmap, resident-page cache and the EMMI protocol (with the ASVM
+    extensions). One [Vm.t] per simulated node. *)
+
+module Prot = Prot
+module Contents = Contents
+module Ids = Ids
+module Emmi = Emmi
+module Vm_object = Vm_object
+module Address_map = Address_map
+module Pmap = Pmap
+module Vm_config = Vm_config
+module Backing = Backing
+module Vm = Vm

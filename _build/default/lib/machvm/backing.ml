@@ -1,0 +1,24 @@
+type t = {
+  store :
+    obj:Ids.obj_id -> page:int -> contents:Contents.t -> k:(unit -> unit) -> unit;
+  fetch :
+    obj:Ids.obj_id -> page:int -> k:(Contents.t option -> unit) -> unit;
+}
+
+let in_memory () =
+  let table : (Ids.obj_id * int, Contents.t) Hashtbl.t = Hashtbl.create 64 in
+  {
+    store =
+      (fun ~obj ~page ~contents ~k ->
+        Hashtbl.replace table (obj, page) (Contents.copy contents);
+        k ());
+    fetch =
+      (fun ~obj ~page ~k ->
+        k (Option.map Contents.copy (Hashtbl.find_opt table (obj, page))));
+  }
+
+let none =
+  {
+    store = (fun ~obj:_ ~page:_ ~contents:_ ~k:_ -> failwith "Backing.none: store");
+    fetch = (fun ~obj:_ ~page:_ ~k:_ -> failwith "Backing.none: fetch");
+  }

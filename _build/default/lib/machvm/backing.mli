@@ -1,0 +1,21 @@
+(** Default-pager hooks for anonymous memory.
+
+    When the kernel evicts a dirty page of an unmanaged temporary object
+    it hands the page to the node's default pager through this record;
+    later faults fetch it back. The real pager (with its disk model)
+    lives in [Asvm_pager]; this indirection keeps the kernel free of a
+    dependency on it. *)
+
+type t = {
+  store :
+    obj:Ids.obj_id -> page:int -> contents:Contents.t -> k:(unit -> unit) -> unit;
+  fetch :
+    obj:Ids.obj_id -> page:int -> k:(Contents.t option -> unit) -> unit;
+}
+
+(** Instant in-memory store with no cost model; for unit tests. *)
+val in_memory : unit -> t
+
+(** A backing store that must never be used (nodes whose workloads are
+    sized to fit in memory). *)
+val none : t

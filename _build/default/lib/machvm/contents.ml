@@ -1,0 +1,26 @@
+type t = int array
+
+let zero ~words =
+  if words <= 0 then invalid_arg "Contents.zero: words <= 0";
+  Array.make words 0
+
+let words = Array.length
+
+let get t i = t.(i)
+let set t i v = t.(i) <- v
+
+let copy = Array.copy
+
+let equal = ( = )
+
+let is_zero t = Array.for_all (fun w -> w = 0) t
+
+let checksum t =
+  Array.fold_left (fun acc w -> (acc * 1000003) lxor w) (Array.length t) t
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>[%a]@]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+       Format.pp_print_int)
+    (Array.to_list t)

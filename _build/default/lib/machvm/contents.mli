@@ -1,0 +1,28 @@
+(** Modeled contents of one 8 KB virtual-memory page.
+
+    Pages carry a configurable number of 63-bit words instead of 8192 raw
+    bytes: enough to express real data (file bytes, EM3D cell values,
+    coherence stamps) while keeping a 64-node simulation in memory. All
+    transfers copy, as a real page transfer would — aliasing a [t] across
+    two nodes would silently break the coherence invariants the test
+    suite checks. *)
+
+type t
+
+(** Fresh zero-filled page. @raise Invalid_argument if [words <= 0]. *)
+val zero : words:int -> t
+
+val words : t -> int
+val get : t -> int -> int
+val set : t -> int -> int -> unit
+
+(** Deep copy (page transfer / push / copy-on-write). *)
+val copy : t -> t
+
+val equal : t -> t -> bool
+val is_zero : t -> bool
+
+(** Order-sensitive checksum, used by tests to compare page images. *)
+val checksum : t -> int
+
+val pp : Format.formatter -> t -> unit

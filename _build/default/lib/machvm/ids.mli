@@ -1,0 +1,19 @@
+(** Cluster-wide identifiers.
+
+    Memory objects have a single global identity; each node holds its own
+    representation of an object under that id. Task ids are also global
+    so traces stay unambiguous. *)
+
+type obj_id = int
+type task_id = int
+
+(** Monotonic id allocator shared across a cluster. *)
+module Alloc : sig
+  type t
+
+  val create : unit -> t
+  val fresh : t -> int
+end
+
+val pp_obj : Format.formatter -> obj_id -> unit
+val pp_task : Format.formatter -> task_id -> unit

@@ -1,0 +1,16 @@
+type translation = { backing_obj : Ids.obj_id; index : int; mutable prot : Prot.t }
+
+type t = (int, translation) Hashtbl.t
+
+let create () : t = Hashtbl.create 64
+
+let enter t ~vpage ~backing_obj ~index ~prot =
+  Hashtbl.replace t vpage { backing_obj; index; prot }
+
+let lookup t ~vpage = Hashtbl.find_opt t vpage
+
+let remove t ~vpage = Hashtbl.remove t vpage
+
+let vpages t = Hashtbl.fold (fun vpage _ acc -> vpage :: acc) t [] |> List.sort compare
+
+let size t = Hashtbl.length t

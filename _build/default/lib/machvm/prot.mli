@@ -1,0 +1,16 @@
+(** Page protection / access levels, ordered [No_access < Read_only <
+    Read_write]. *)
+
+type t = No_access | Read_only | Read_write
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** [allows granted wanted]: does holding [granted] satisfy a fault that
+    wants [wanted]? *)
+val allows : t -> t -> bool
+
+val max : t -> t -> t
+val min : t -> t -> t
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

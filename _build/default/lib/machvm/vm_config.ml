@@ -1,0 +1,22 @@
+type t = {
+  words_per_page : int;
+  memory_pages : int;
+  fault_entry_ms : float;
+  pmap_enter_ms : float;
+  emmi_call_ms : float;
+  copy_page_ms : float;
+  zero_fill_ms : float;
+}
+
+let default =
+  {
+    words_per_page = 16;
+    memory_pages = 1152;
+    fault_entry_ms = 0.45;
+    pmap_enter_ms = 0.05;
+    emmi_call_ms = 0.04;
+    copy_page_ms = 0.12;
+    zero_fill_ms = 0.08;
+  }
+
+let with_memory t pages = { t with memory_pages = pages }

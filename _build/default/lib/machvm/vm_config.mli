@@ -1,0 +1,18 @@
+(** Per-node VM cost and capacity parameters. *)
+
+type t = {
+  words_per_page : int;  (** modeled words in one 8 KB page *)
+  memory_pages : int;  (** resident-page capacity of the node *)
+  fault_entry_ms : float;  (** trap + map lookup + fault setup *)
+  pmap_enter_ms : float;  (** install one translation *)
+  emmi_call_ms : float;  (** kernel <-> manager boundary crossing *)
+  copy_page_ms : float;  (** local page memcpy (push / COW) *)
+  zero_fill_ms : float;  (** clear a fresh page *)
+}
+
+(** Paragon-GP-like defaults: 16 MB node of which ~9 MB (1152 pages)
+    are available to user memory; costs from DESIGN.md section 5. *)
+val default : t
+
+(** [with_memory t pages] — same costs, different capacity. *)
+val with_memory : t -> int -> t

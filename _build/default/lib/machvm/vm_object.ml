@@ -1,0 +1,56 @@
+type frame = {
+  mutable contents : Contents.t;
+  mutable dirty : bool;
+  mutable access : Prot.t;
+  mutable wired : bool;
+}
+
+type t = {
+  id : Ids.obj_id;
+  size_pages : int;
+  temporary : bool;
+  mutable shadow : (Ids.obj_id * int) option;
+  mutable copy : Ids.obj_id option;
+  mutable version : int;
+  page_versions : (int, int) Hashtbl.t;
+  mutable manager : Emmi.manager option;
+  resident : (int, frame) Hashtbl.t;
+}
+
+let create ~id ~size_pages ~temporary ?shadow () =
+  if size_pages <= 0 then invalid_arg "Vm_object.create: size_pages <= 0";
+  {
+    id;
+    size_pages;
+    temporary;
+    shadow;
+    copy = None;
+    version = 0;
+    page_versions = Hashtbl.create 8;
+    manager = None;
+    resident = Hashtbl.create 16;
+  }
+
+let frame t page = Hashtbl.find_opt t.resident page
+let is_resident t page = Hashtbl.mem t.resident page
+
+let install t ~page fr =
+  if page < 0 || page >= t.size_pages then
+    invalid_arg "Vm_object.install: page out of range";
+  Hashtbl.replace t.resident page fr
+
+let remove t ~page = Hashtbl.remove t.resident page
+
+let resident_pages t =
+  Hashtbl.fold (fun page _ acc -> page :: acc) t.resident [] |> List.sort compare
+
+let resident_count t = Hashtbl.length t.resident
+
+let page_version t page =
+  match Hashtbl.find_opt t.page_versions page with Some v -> v | None -> 0
+
+let set_page_version t page v = Hashtbl.replace t.page_versions page v
+
+let needs_push t page = page_version t page <> t.version
+
+let has_manager t = Option.is_some t.manager

@@ -1,0 +1,1 @@
+lib/mesh/asvm_mesh.ml: Network Topology

@@ -1,0 +1,1 @@
+lib/mesh/network.ml: Array Asvm_simcore Topology

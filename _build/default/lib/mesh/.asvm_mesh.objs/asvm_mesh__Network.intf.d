@@ -1,0 +1,1 @@
+lib/mesh/network.mli: Asvm_simcore Topology

@@ -1,0 +1,4 @@
+(** Paragon-style 2-D mesh interconnect model. *)
+
+module Topology = Topology
+module Network = Network

@@ -1,0 +1,52 @@
+(** Message delivery over the mesh.
+
+    The model splits a message's cost into:
+    - sender-side software time ([sw_send]), occupying the sender's
+      transmit station (messages from one node serialize);
+    - wire time: fixed start-up + per-hop routing + per-byte transfer
+      (wormhole routing makes this latency, not occupancy);
+    - receiver-side software time ([sw_recv]), occupying the receiver's
+      receive station (a hot receiver — e.g. the XMM centralized manager —
+      queues incoming work).
+
+    The continuation runs on the receiver once its station has processed
+    the message. *)
+
+type config = {
+  fixed_ms : float;  (** wire start-up cost per message *)
+  per_hop_ms : float;  (** router traversal per hop *)
+  per_byte_ms : float;  (** transfer time per payload byte *)
+}
+
+(** Paragon-like mesh: 200 MB/s links, sub-microsecond routers. *)
+val paragon_config : config
+
+type t
+
+val create : Asvm_simcore.Engine.t -> config -> Topology.t -> t
+
+val topology : t -> Topology.t
+val engine : t -> Asvm_simcore.Engine.t
+
+(** [send t ~src ~dst ~bytes ~sw_send ~sw_recv k] models one message.
+    [src = dst] is allowed (loopback skips the wire but still pays the
+    software path). *)
+val send :
+  t ->
+  src:int ->
+  dst:int ->
+  bytes:int ->
+  sw_send:float ->
+  sw_recv:float ->
+  (unit -> unit) ->
+  unit
+
+(** Total messages sent so far. *)
+val messages : t -> int
+
+(** Total payload bytes sent so far. *)
+val bytes_sent : t -> int
+
+(** Wire latency (ms) for a [bytes]-sized payload between two nodes,
+    excluding software time — exposed for tests and capacity planning. *)
+val wire_latency : t -> src:int -> dst:int -> bytes:int -> float

@@ -1,0 +1,38 @@
+type t = { nodes : int; width : int; height : int }
+
+let create ~nodes =
+  if nodes <= 0 then invalid_arg "Topology.create: nodes <= 0";
+  let width =
+    let rec find w = if w * w >= nodes then w else find (w + 1) in
+    find 1
+  in
+  let height = (nodes + width - 1) / width in
+  { nodes; width; height }
+
+let nodes t = t.nodes
+let width t = t.width
+let height t = t.height
+
+let coords t node =
+  if node < 0 || node >= t.nodes then invalid_arg "Topology.coords: bad node";
+  (node mod t.width, node / t.width)
+
+let node_at t ~x ~y =
+  if x < 0 || x >= t.width || y < 0 || y >= t.height then
+    invalid_arg "Topology.node_at: bad coordinates";
+  let node = (y * t.width) + x in
+  if node >= t.nodes then invalid_arg "Topology.node_at: hole in last row";
+  node
+
+let hops t a b =
+  let xa, ya = coords t a and xb, yb = coords t b in
+  abs (xa - xb) + abs (ya - yb)
+
+let diameter t =
+  let d = ref 0 in
+  for a = 0 to t.nodes - 1 do
+    for b = a + 1 to t.nodes - 1 do
+      if hops t a b > !d then d := hops t a b
+    done
+  done;
+  !d

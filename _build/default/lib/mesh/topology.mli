@@ -1,0 +1,28 @@
+(** Two-dimensional mesh topology, as in the Intel Paragon.
+
+    Nodes are numbered [0 .. n-1] and laid out row-major on a mesh whose
+    width is the smallest integer >= sqrt n that keeps the mesh as square
+    as possible. Messages are wormhole-routed in dimension order, so the
+    distance between two nodes is the Manhattan distance between their
+    coordinates. *)
+
+type t
+
+(** @raise Invalid_argument if [nodes <= 0]. *)
+val create : nodes:int -> t
+
+val nodes : t -> int
+val width : t -> int
+val height : t -> int
+
+(** Mesh coordinates of a node id. @raise Invalid_argument if out of range. *)
+val coords : t -> int -> int * int
+
+(** Node id at coordinates. *)
+val node_at : t -> x:int -> y:int -> int
+
+(** Dimension-order (Manhattan) hop count between two nodes. *)
+val hops : t -> int -> int -> int
+
+(** Maximum hop count over all node pairs (mesh diameter). *)
+val diameter : t -> int

@@ -1,0 +1,1 @@
+lib/norma/asvm_norma.ml: Ipc

@@ -1,0 +1,1 @@
+lib/norma/ipc.ml: Asvm_mesh

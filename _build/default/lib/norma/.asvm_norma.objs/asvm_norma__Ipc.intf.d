@@ -1,0 +1,1 @@
+lib/norma/ipc.mli: Asvm_mesh

@@ -1,0 +1,3 @@
+(** NORMA-IPC: the heavyweight port-based transport XMM is built on. *)
+
+module Ipc = Ipc

@@ -1,0 +1,59 @@
+module Network = Asvm_mesh.Network
+
+type config = {
+  sw_send_ms : float;
+  sw_recv_ms : float;
+  per_right_ms : float;
+  page_extra_ms : float;
+  header_bytes : int;
+}
+
+let default_config =
+  {
+    sw_send_ms = 0.85;
+    sw_recv_ms = 0.85;
+    per_right_ms = 0.08;
+    page_extra_ms = 0.45;
+    header_bytes = 256;
+  }
+
+let page_bytes = 8192
+
+type 'msg port = {
+  id : int;
+  node : int;
+  handler : 'msg port -> 'msg -> unit;
+}
+
+type 'msg t = {
+  net : Network.t;
+  config : config;
+  mutable next_port : int;
+  mutable messages : int;
+  mutable page_messages : int;
+}
+
+let create net config = { net; config; next_port = 0; messages = 0; page_messages = 0 }
+
+let port t ~node ~handler =
+  let id = t.next_port in
+  t.next_port <- id + 1;
+  { id; node; handler }
+
+let port_node p = p.node
+let port_id p = p.id
+
+let send t ~src ~dst ?(carries_page = false) ?(rights = 1) msg =
+  t.messages <- t.messages + 1;
+  if carries_page then t.page_messages <- t.page_messages + 1;
+  let c = t.config in
+  let extra = if carries_page then c.page_extra_ms else 0. in
+  let rights_cost = float_of_int rights *. c.per_right_ms in
+  let bytes = c.header_bytes + if carries_page then page_bytes else 0 in
+  Network.send t.net ~src ~dst:dst.node ~bytes
+    ~sw_send:(c.sw_send_ms +. rights_cost +. extra)
+    ~sw_recv:(c.sw_recv_ms +. rights_cost +. extra)
+    (fun () -> dst.handler dst msg)
+
+let messages t = t.messages
+let page_messages t = t.page_messages

@@ -1,0 +1,1 @@
+lib/pager/asvm_pager.ml: Disk Store_pager

@@ -1,0 +1,1 @@
+lib/pager/store_pager.ml: Asvm_machvm Asvm_simcore Disk Hashtbl Option

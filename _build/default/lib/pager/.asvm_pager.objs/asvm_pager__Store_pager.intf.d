@@ -1,0 +1,1 @@
+lib/pager/store_pager.mli: Asvm_machvm Asvm_simcore Disk

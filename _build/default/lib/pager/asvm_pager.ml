@@ -1,0 +1,5 @@
+(** User-level pagers and the disk model: the default pager (paging
+    space) and file pagers for memory-mapped files. *)
+
+module Disk = Disk
+module Store_pager = Store_pager

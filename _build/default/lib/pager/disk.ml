@@ -1,0 +1,28 @@
+module Station = Asvm_simcore.Station
+
+type config = { seek_ms : float; transfer_ms_per_page : float }
+
+let default_config = { seek_ms = 20.0; transfer_ms_per_page = 1.6 }
+
+type t = {
+  station : Station.t;
+  config : config;
+  mutable reads : int;
+  mutable writes : int;
+}
+
+let create engine config =
+  { station = Station.create engine; config; reads = 0; writes = 0 }
+
+let service t = t.config.seek_ms +. t.config.transfer_ms_per_page
+
+let read t k =
+  t.reads <- t.reads + 1;
+  Station.submit t.station ~service:(service t) k
+
+let write t k =
+  t.writes <- t.writes + 1;
+  Station.submit t.station ~service:(service t) k
+
+let reads t = t.reads
+let writes t = t.writes

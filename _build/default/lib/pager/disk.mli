@@ -1,0 +1,22 @@
+(** Disk model: a single-arm disk as a FIFO station with a fixed
+    seek + per-page transfer service time. One disk per I/O node (the
+    Paragon had roughly one disk node per 32 compute nodes). *)
+
+type config = { seek_ms : float; transfer_ms_per_page : float }
+
+(** A paging disk of the era: ~12 ms average positioning, ~5 MB/s media
+    rate (8 KB page ~ 1.6 ms). *)
+val default_config : config
+
+type t
+
+val create : Asvm_simcore.Engine.t -> config -> t
+
+(** [read t k] / [write t k]: queue one page-sized transfer; [k] runs at
+    completion. *)
+val read : t -> (unit -> unit) -> unit
+
+val write : t -> (unit -> unit) -> unit
+
+val reads : t -> int
+val writes : t -> int

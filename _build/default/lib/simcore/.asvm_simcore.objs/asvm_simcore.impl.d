@@ -1,0 +1,1 @@
+lib/simcore/asvm_simcore.ml: Engine Event_queue Rng Station Stats Tracer

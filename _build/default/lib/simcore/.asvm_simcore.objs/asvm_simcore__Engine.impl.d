@@ -1,0 +1,1 @@
+lib/simcore/engine.ml: Event_queue Float Option

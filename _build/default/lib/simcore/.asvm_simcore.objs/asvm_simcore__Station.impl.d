@@ -1,0 +1,1 @@
+lib/simcore/station.ml: Engine Float

@@ -1,0 +1,1 @@
+lib/simcore/stats.ml: Array Format Hashtbl List String

@@ -1,0 +1,1 @@
+lib/simcore/tracer.ml: Array Format Fun List

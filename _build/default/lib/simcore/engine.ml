@@ -1,0 +1,50 @@
+type t = {
+  queue : Event_queue.t;
+  mutable now : float;
+  mutable seq : int;
+  mutable executed : int;
+}
+
+let create () = { queue = Event_queue.create (); now = 0.; seq = 0; executed = 0 }
+
+let now t = t.now
+
+let schedule_at t ~time k =
+  if not (Float.is_finite time) then invalid_arg "Engine.schedule_at: time not finite";
+  if time < t.now then invalid_arg "Engine.schedule_at: time in the past";
+  Event_queue.add t.queue ~time ~seq:t.seq k;
+  t.seq <- t.seq + 1
+
+let schedule t ~delay k =
+  if not (Float.is_finite delay) || delay < 0. then
+    invalid_arg "Engine.schedule: negative delay";
+  schedule_at t ~time:(t.now +. delay) k
+
+let step t =
+  match Event_queue.pop t.queue with
+  | None -> false
+  | Some (time, _seq, run) ->
+    t.now <- time;
+    t.executed <- t.executed + 1;
+    run ();
+    true
+
+let run ?until ?max_events t =
+  let continue () =
+    (match max_events with Some m -> t.executed < m | None -> true)
+    && (match until, Event_queue.min_time t.queue with
+       | Some u, Some next -> next <= u
+       | _, None -> false
+       | None, Some _ -> true)
+  in
+  while continue () && step t do
+    ()
+  done;
+  match until with
+  | Some u when Event_queue.is_empty t.queue || Option.value ~default:u (Event_queue.min_time t.queue) > u ->
+    if u > t.now then t.now <- u
+  | _ -> ()
+
+let events_executed t = t.executed
+
+let pending t = Event_queue.size t.queue

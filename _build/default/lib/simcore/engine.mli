@@ -1,0 +1,35 @@
+(** Discrete-event simulation engine.
+
+    The engine owns a virtual clock (milliseconds, [float]) and a queue of
+    events. Every cross-node interaction in the simulator is expressed as
+    events scheduled on a single engine, which makes runs sequential and
+    deterministic: two runs with the same seed execute the same events in
+    the same order. *)
+
+type t
+
+val create : unit -> t
+
+(** Current virtual time in milliseconds. *)
+val now : t -> float
+
+(** [schedule t ~delay k] fires [k] at [now t +. delay].
+    @raise Invalid_argument if [delay] is negative or not finite. *)
+val schedule : t -> delay:float -> (unit -> unit) -> unit
+
+(** [schedule_at t ~time k] fires [k] at absolute [time].
+    @raise Invalid_argument if [time] is in the past. *)
+val schedule_at : t -> time:float -> (unit -> unit) -> unit
+
+(** Execute the next event. Returns [false] when the queue is empty. *)
+val step : t -> bool
+
+(** Run until the queue drains, [until] is reached, or [max_events] have
+    executed. *)
+val run : ?until:float -> ?max_events:int -> t -> unit
+
+(** Number of events executed so far. *)
+val events_executed : t -> int
+
+(** Number of events still queued. *)
+val pending : t -> int

@@ -1,0 +1,61 @@
+type entry = { time : float; seq : int; run : unit -> unit }
+
+type t = { mutable heap : entry array; mutable len : int }
+
+let dummy = { time = 0.; seq = 0; run = ignore }
+
+let create () = { heap = Array.make 64 dummy; len = 0 }
+
+let is_empty t = t.len = 0
+
+let size t = t.len
+
+let precedes a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow t =
+  let heap = Array.make (2 * Array.length t.heap) dummy in
+  Array.blit t.heap 0 heap 0 t.len;
+  t.heap <- heap
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if precedes t.heap.(i) t.heap.(parent) then begin
+      let tmp = t.heap.(i) in
+      t.heap.(i) <- t.heap.(parent);
+      t.heap.(parent) <- tmp;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = if l < t.len && precedes t.heap.(l) t.heap.(i) then l else i in
+  let smallest =
+    if r < t.len && precedes t.heap.(r) t.heap.(smallest) then r else smallest
+  in
+  if smallest <> i then begin
+    let tmp = t.heap.(i) in
+    t.heap.(i) <- t.heap.(smallest);
+    t.heap.(smallest) <- tmp;
+    sift_down t smallest
+  end
+
+let add t ~time ~seq run =
+  if t.len = Array.length t.heap then grow t;
+  t.heap.(t.len) <- { time; seq; run };
+  t.len <- t.len + 1;
+  sift_up t (t.len - 1)
+
+let min_time t = if t.len = 0 then None else Some t.heap.(0).time
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    let e = t.heap.(0) in
+    t.len <- t.len - 1;
+    t.heap.(0) <- t.heap.(t.len);
+    t.heap.(t.len) <- dummy;
+    if t.len > 0 then sift_down t 0;
+    Some (e.time, e.seq, e.run)
+  end

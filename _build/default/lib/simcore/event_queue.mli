@@ -1,0 +1,21 @@
+(** Priority queue of timestamped events.
+
+    Events are ordered by time; ties are broken by the insertion sequence
+    number so that runs are fully deterministic. *)
+
+type t
+
+val create : unit -> t
+
+val is_empty : t -> bool
+
+val size : t -> int
+
+(** [add q ~time ~seq k] inserts event [k] firing at [time]. *)
+val add : t -> time:float -> seq:int -> (unit -> unit) -> unit
+
+(** Smallest timestamp currently queued, if any. *)
+val min_time : t -> float option
+
+(** Remove and return the earliest event as [(time, seq, k)]. *)
+val pop : t -> (float * int * (unit -> unit)) option

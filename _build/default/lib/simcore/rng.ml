@@ -1,0 +1,33 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+(* splitmix64, Steele et al.; the standard finalizer gives good avalanche
+   behaviour even for sequential seeds. *)
+let next t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound <= 0";
+  let mask = Int64.to_int (Int64.shift_right_logical (next t) 2) in
+  mask mod bound
+
+let float t bound =
+  let mantissa = Int64.to_float (Int64.shift_right_logical (next t) 11) in
+  bound *. mantissa /. 9007199254740992.
+
+let bool t = Int64.logand (next t) 1L = 1L
+
+let split t = { state = next t }
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

@@ -1,0 +1,23 @@
+(** Deterministic splitmix64 pseudo-random generator.
+
+    The simulator never uses the global [Random] state: every source of
+    randomness is an explicit [Rng.t] derived from the experiment seed, so
+    that runs are reproducible bit-for-bit. *)
+
+type t
+
+val create : int -> t
+
+(** Uniform integer in [\[0, bound)]. @raise Invalid_argument if [bound <= 0]. *)
+val int : t -> int -> int
+
+(** Uniform float in [\[0, bound)]. *)
+val float : t -> float -> float
+
+val bool : t -> bool
+
+(** Derive an independent stream (for per-node generators). *)
+val split : t -> t
+
+(** In-place Fisher-Yates shuffle. *)
+val shuffle : t -> 'a array -> unit

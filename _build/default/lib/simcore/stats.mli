@@ -1,0 +1,65 @@
+(** Measurement collection: tallies, counters and (x, y) series. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  min : float;
+  max : float;
+  stddev : float;
+  total : float;
+}
+
+val pp_summary : Format.formatter -> summary -> unit
+
+(** Streaming tally of float samples (Welford's algorithm). *)
+module Tally : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val total : t -> float
+  val summary : t -> summary
+end
+
+(** Named integer counters. *)
+module Counters : sig
+  type t
+
+  val create : unit -> t
+  val incr : ?by:int -> t -> string -> unit
+  val get : t -> string -> int
+  val to_list : t -> (string * int) list
+end
+
+(** Sample store with percentile queries, for latency distributions. *)
+module Histogram : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+
+  (** [percentile t p] for [p] in [\[0, 100\]]; linear interpolation
+      between ranked samples. @raise Invalid_argument if empty or [p]
+      out of range. *)
+  val percentile : t -> float -> float
+
+  val median : t -> float
+end
+
+(** An (x, y) series, e.g. latency as a function of reader count. *)
+module Series : sig
+  type t
+
+  val create : string -> t
+  val name : t -> string
+  val add : t -> x:float -> y:float -> unit
+  val points : t -> (float * float) list
+
+  (** Least-squares linear fit [(intercept, slope)] — used to extract the
+      paper's [lb + n * la] model from Figure 11 data.
+      @raise Invalid_argument on fewer than two points. *)
+  val linear_fit : t -> float * float
+end

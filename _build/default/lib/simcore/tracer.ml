@@ -1,0 +1,39 @@
+type event = { time : float; node : int; category : string; detail : string }
+
+type t = {
+  capacity : int;
+  ring : event option array;
+  mutable next : int;
+  mutable emitted : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Tracer.create: capacity <= 0";
+  { capacity; ring = Array.make capacity None; next = 0; emitted = 0 }
+
+let emit t ~time ~node ~category ~detail =
+  match t with
+  | None -> ()
+  | Some t ->
+    t.ring.(t.next) <- Some { time; node; category; detail };
+    t.next <- (t.next + 1) mod t.capacity;
+    t.emitted <- t.emitted + 1
+
+let events t =
+  let older = Array.to_list (Array.sub t.ring t.next (t.capacity - t.next)) in
+  let newer = Array.to_list (Array.sub t.ring 0 t.next) in
+  List.filter_map Fun.id (older @ newer)
+
+let emitted t = t.emitted
+
+let clear t =
+  Array.fill t.ring 0 t.capacity None;
+  t.next <- 0;
+  t.emitted <- 0
+
+let pp_event ppf e =
+  Format.fprintf ppf "%10.3f ms  node %-3d %-6s %s" e.time e.node e.category
+    e.detail
+
+let dump ppf t =
+  List.iter (fun e -> Format.fprintf ppf "%a@." pp_event e) (events t)

@@ -1,0 +1,33 @@
+(** Bounded event tracing for protocol monitoring.
+
+    A ring buffer of timestamped events, cheap enough to leave compiled
+    in: emitting to an absent tracer is a no-op. The ASVM/XMM layers
+    emit one event per protocol message and per ownership transition,
+    giving the system- and application-level monitoring the paper's
+    authors built for the Paragon. *)
+
+type event = {
+  time : float;  (** simulated ms *)
+  node : int;
+  category : string;  (** e.g. "asvm", "xmm", "owner" *)
+  detail : string;
+}
+
+type t
+
+(** [create ~capacity] keeps the most recent [capacity] events. *)
+val create : capacity:int -> t
+
+val emit : t option -> time:float -> node:int -> category:string -> detail:string -> unit
+
+(** Events in emission order (oldest first). *)
+val events : t -> event list
+
+(** Total events ever emitted (including overwritten ones). *)
+val emitted : t -> int
+
+val clear : t -> unit
+val pp_event : Format.formatter -> event -> unit
+
+(** Dump the buffer, oldest first, one event per line. *)
+val dump : Format.formatter -> t -> unit

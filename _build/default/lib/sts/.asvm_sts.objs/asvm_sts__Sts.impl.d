@@ -1,0 +1,1 @@
+lib/sts/sts.ml: Array Asvm_mesh Printf Sys

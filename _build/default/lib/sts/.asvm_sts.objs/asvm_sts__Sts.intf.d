@@ -1,0 +1,1 @@
+lib/sts/sts.mli: Asvm_mesh

@@ -1,0 +1,90 @@
+module Network = Asvm_mesh.Network
+
+type config = {
+  sw_send_ms : float;
+  sw_recv_ms : float;
+  page_extra_ms : float;
+  header_bytes : int;
+  page_buffers : int;
+}
+
+(* Both software paths are thin (a 32-byte untyped block goes straight
+   to/from the mesh interface), so back-to-back messages — e.g. the
+   owner invalidating a long reader list and absorbing the acks —
+   pipeline at ~0.09 ms each: the per-reader slope of the paper's
+   figure 10. *)
+let default_config =
+  {
+    sw_send_ms = 0.09;
+    sw_recv_ms = 0.09;
+    page_extra_ms = 0.45;
+    header_bytes = 32;
+    page_buffers = 64;
+  }
+
+let page_bytes = 8192
+
+type 'msg t = {
+  net : Network.t;
+  config : config;
+  handlers : ('msg -> unit) option array;
+  reserved : int array;
+  mutable messages : int;
+  mutable page_messages : int;
+}
+
+let create net config =
+  let n = Asvm_mesh.Topology.nodes (Network.topology net) in
+  {
+    net;
+    config;
+    handlers = Array.make n None;
+    reserved = Array.make n 0;
+    messages = 0;
+    page_messages = 0;
+  }
+
+let register t ~node handler = t.handlers.(node) <- Some handler
+
+let debug = Sys.getenv_opt "STS_DEBUG" <> None
+
+let reserve_buffer t ~node =
+  if t.reserved.(node) >= t.config.page_buffers then false
+  else begin
+    t.reserved.(node) <- t.reserved.(node) + 1;
+    if debug && node = 0 then
+      Printf.eprintf "[sts] reserve node=%d -> %d\n%!" node t.reserved.(node);
+    true
+  end
+
+let release_buffer t ~node =
+  if t.reserved.(node) <= 0 then failwith "Sts.release_buffer: pool underflow";
+  t.reserved.(node) <- t.reserved.(node) - 1;
+  if debug && node = 0 then
+    Printf.eprintf "[sts] release node=%d -> %d\n%!" node t.reserved.(node)
+
+let buffers_reserved t ~node = t.reserved.(node)
+
+let send t ~src ~dst ?(carries_page = false) msg =
+  let handler =
+    match t.handlers.(dst) with
+    | Some h -> h
+    | None -> failwith "Sts.send: no handler registered at destination"
+  in
+  if carries_page && t.reserved.(dst) <= 0 then
+    failwith
+      (Printf.sprintf
+         "Sts.send: page sent without a reserved receive buffer (src=%d \
+          dst=%d)"
+         src dst);
+  t.messages <- t.messages + 1;
+  if carries_page then t.page_messages <- t.page_messages + 1;
+  let c = t.config in
+  let extra = if carries_page then c.page_extra_ms else 0. in
+  let bytes = c.header_bytes + if carries_page then page_bytes else 0 in
+  Network.send t.net ~src ~dst ~bytes ~sw_send:(c.sw_send_ms +. extra)
+    ~sw_recv:(c.sw_recv_ms +. extra)
+    (fun () -> handler msg)
+
+let messages t = t.messages
+let page_messages t = t.page_messages

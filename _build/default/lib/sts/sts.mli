@@ -1,0 +1,51 @@
+(** STS — the SVM Transport Service.
+
+    ASVM's dedicated transport (paper section 3.1): messages are a fixed
+    32-byte block of untyped data, optionally followed by the contents of
+    one 8 KB VM page. Because page contents are only ever transferred in
+    response to a request from their receiver, the receiver can
+    preallocate page buffers; flow control reduces to a per-node credit
+    pool that requesters draw from before asking for data.
+
+    The software path is far cheaper than NORMA's: no typed marshalling,
+    no port-right bookkeeping. *)
+
+type config = {
+  sw_send_ms : float;
+  sw_recv_ms : float;
+  page_extra_ms : float;  (** extra cost each side to stage an 8 KB page *)
+  header_bytes : int;  (** fixed untyped block, 32 bytes in the paper *)
+  page_buffers : int;  (** preallocated receive buffers per node *)
+}
+
+val default_config : config
+
+type 'msg t
+
+val create : Asvm_mesh.Network.t -> config -> 'msg t
+
+(** Install the per-node message handler. Must be called once per node
+    before any [send] targets it. *)
+val register : 'msg t -> node:int -> ('msg -> unit) -> unit
+
+(** [send t ~src ~dst ?carries_page msg] delivers [msg] to [dst]'s
+    handler after transport costs.
+    @raise Failure if [dst] has no registered handler.
+    @raise Failure if [carries_page] and no buffer is reserved at [dst]
+    (flow-control violation: pages only flow on behalf of a request). *)
+val send : 'msg t -> src:int -> dst:int -> ?carries_page:bool -> 'msg -> unit
+
+(** Reserve a preallocated page receive buffer at [node] before issuing a
+    request whose answer carries page contents. Returns [false] when the
+    pool is exhausted (the caller must defer its request). *)
+val reserve_buffer : 'msg t -> node:int -> bool
+
+(** Return a previously reserved buffer at [node] once the page has been
+    consumed. @raise Failure on over-release. *)
+val release_buffer : 'msg t -> node:int -> unit
+
+(** Currently reserved buffers at [node] (for invariant checks). *)
+val buffers_reserved : 'msg t -> node:int -> int
+
+val messages : 'msg t -> int
+val page_messages : 'msg t -> int

@@ -1,0 +1,1 @@
+lib/workloads/copy_chain.ml: Asvm_cluster Asvm_machvm Asvm_simcore List Option Printf

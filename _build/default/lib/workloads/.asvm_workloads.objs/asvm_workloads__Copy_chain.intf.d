@@ -1,0 +1,1 @@
+lib/workloads/copy_chain.mli: Asvm_cluster

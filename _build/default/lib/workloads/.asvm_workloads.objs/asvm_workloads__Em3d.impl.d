@@ -1,0 +1,1 @@
+lib/workloads/em3d.ml: Array Asvm_cluster Asvm_machvm Asvm_simcore Fun List

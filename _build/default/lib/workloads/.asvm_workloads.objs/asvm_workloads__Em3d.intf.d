@@ -1,0 +1,1 @@
+lib/workloads/em3d.mli: Asvm_cluster Asvm_core

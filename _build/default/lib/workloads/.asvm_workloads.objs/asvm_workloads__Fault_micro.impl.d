@@ -1,0 +1,1 @@
+lib/workloads/fault_micro.ml: Array Asvm_cluster Asvm_machvm Fun List Printf

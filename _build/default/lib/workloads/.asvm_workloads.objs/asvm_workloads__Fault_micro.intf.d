@@ -1,0 +1,1 @@
+lib/workloads/fault_micro.mli: Asvm_cluster

@@ -1,0 +1,1 @@
+lib/workloads/file_io.ml: Array Asvm_cluster Asvm_machvm Asvm_pager Fun List

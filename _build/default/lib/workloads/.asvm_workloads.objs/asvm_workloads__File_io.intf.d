@@ -1,0 +1,1 @@
+lib/workloads/file_io.mli: Asvm_cluster

@@ -1,0 +1,1 @@
+lib/workloads/sor.ml: Array Asvm_cluster Asvm_machvm Asvm_simcore Fun List

@@ -1,0 +1,72 @@
+module Cluster = Asvm_cluster.Cluster
+module Config = Asvm_cluster.Config
+module Prot = Asvm_machvm.Prot
+module Address_map = Asvm_machvm.Address_map
+module Stats = Asvm_simcore.Stats
+
+type result = {
+  chain : int;
+  mean_fault_ms : float;
+  total_ms : float;
+  faults : int;
+}
+
+let measure ~mm ~chain ?(pages = 16) () =
+  if chain < 1 then invalid_arg "Copy_chain.measure: chain < 1";
+  let nodes = chain + 1 in
+  let config = Config.with_mm (Config.default ~nodes) mm in
+  let cl = Cluster.create config in
+  let wpp = (Cluster.config cl).Config.vm.words_per_page in
+  (* the source task initializes the whole region on node 0 *)
+  let t0 = Cluster.create_task cl ~node:0 in
+  let obj = Cluster.create_private_object cl ~node:0 ~size_pages:pages in
+  Cluster.map cl ~task:t0 ~obj ~start:0 ~npages:pages
+    ~inherit_:Address_map.Inherit_copy;
+  for p = 0 to pages - 1 do
+    let ok = ref false in
+    Cluster.write_word cl ~task:t0 ~addr:(p * wpp) ~value:(1000 + p) (fun () ->
+        ok := true);
+    Cluster.run cl;
+    assert !ok
+  done;
+  (* spawn the chain of copies across the nodes *)
+  let current = ref t0 in
+  for stage = 1 to chain do
+    let next = ref None in
+    Cluster.fork cl ~task:!current ~dst_node:stage (fun c -> next := Some c);
+    Cluster.run cl;
+    current := Option.get !next
+  done;
+  let last = !current in
+  (* fault every page of the region on the last node *)
+  let t_start = Cluster.now cl in
+  let tally = Stats.Tally.create () in
+  for p = 0 to pages - 1 do
+    let f0 = Cluster.now cl in
+    let got = ref None in
+    Cluster.read_word cl ~task:last ~addr:(p * wpp) (fun v -> got := Some v);
+    Cluster.run cl;
+    (match !got with
+    | Some v when v = 1000 + p -> ()
+    | Some v -> failwith (Printf.sprintf "copy chain returned %d for page %d" v p)
+    | None -> failwith "copy chain fault did not complete");
+    Stats.Tally.add tally (Cluster.now cl -. f0)
+  done;
+  {
+    chain;
+    mean_fault_ms = Stats.Tally.mean tally;
+    total_ms = Cluster.now cl -. t_start;
+    faults = pages;
+  }
+
+let figure11 ~mm ~chains ?(pages = 16) () =
+  let results = List.map (fun chain -> measure ~mm ~chain ~pages ()) chains in
+  let series = Stats.Series.create "fault latency vs chain length" in
+  (* the paper's model counts stages beyond the first fork: lb is the
+     basic remote copy-on-access latency, la the cost per additional
+     node the fault is forwarded across *)
+  List.iter
+    (fun r ->
+      Stats.Series.add series ~x:(float_of_int (r.chain - 1)) ~y:r.mean_fault_ms)
+    results;
+  (results, Stats.Series.linear_fit series)

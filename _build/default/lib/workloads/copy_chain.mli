@@ -1,0 +1,26 @@
+(** Inherited-memory (delayed copy) microbenchmark — paper Figure 11.
+
+    A task initializes a 128 KB region (16 pages), then a chain of
+    copies of that region is spawned across [chain] nodes by repeated
+    remote forks; finally every page of the region is faulted on the
+    last node of the chain. The per-fault latency follows
+    [lb + n * la] (paper: ASVM lb=2.7, la=0.48; XMM lb=5.0, la=4.3). *)
+
+type result = {
+  chain : int;  (** number of fork stages *)
+  mean_fault_ms : float;
+  total_ms : float;
+  faults : int;
+}
+
+val measure :
+  mm:Asvm_cluster.Config.mm -> chain:int -> ?pages:int -> unit -> result
+
+(** Sweep chain lengths; returns the per-chain results and the fitted
+    [(lb, la)] of the latency model. *)
+val figure11 :
+  mm:Asvm_cluster.Config.mm ->
+  chains:int list ->
+  ?pages:int ->
+  unit ->
+  result list * (float * float)

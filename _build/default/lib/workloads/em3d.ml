@@ -1,0 +1,314 @@
+module Cluster = Asvm_cluster.Cluster
+module Config = Asvm_cluster.Config
+module Prot = Asvm_machvm.Prot
+module Address_map = Asvm_machvm.Address_map
+module Vm = Asvm_machvm.Vm
+module Rng = Asvm_simcore.Rng
+
+type params = { cells : int; nodes : int; iterations : int; seed : int }
+
+let default_params ~cells ~nodes = { cells; nodes; iterations = 100; seed = 7 }
+
+type result = {
+  params : params;
+  seconds : float;
+  faults : int;
+  protocol_messages : int;
+}
+
+let cell_bytes = 224
+let cells_per_page = 8192 / cell_bytes (* 36 *)
+(* 43.6 s / (64000 cells * 100 iterations), the paper's sequential rate *)
+let compute_us_per_cell_iteration = 6.8125
+
+let data_pages ~cells = ((cells + cells_per_page - 1) / cells_per_page) + 1
+
+let fits ~cells ~nodes ~memory_pages_per_node =
+  data_pages ~cells <= nodes * memory_pages_per_node
+
+(* ------------------------------------------------------------------ *)
+(* Page-granular benchmark                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* The Split-C EM3D generator allocates remote neighbour lists with
+   locality: the remote endpoints of a node's edges cluster in boundary
+   windows of its partner nodes. We compile the sharing pattern into,
+   per node and per array (E then H), the set of remote pages it reads
+   each phase. The number of distinct remote pages grows slowly with
+   the per-node problem size (each boundary page serves many edges). *)
+type plan = {
+  own_e : int list;  (** pages this node writes in the E phase *)
+  own_h : int list;
+  read_h : int list;  (** remote H pages read in the E phase *)
+  read_e : int list;  (** remote E pages read in the H phase *)
+  cells_per_node : int;
+}
+
+let slice ~pages ~nodes ~node ~base =
+  let per = pages / nodes and rem = pages mod nodes in
+  let start = (node * per) + min node rem in
+  let len = per + if node < rem then 1 else 0 in
+  List.init len (fun i -> base + start + i)
+
+let window_pages ~pages_per_node =
+  (* calibrated against Table 3: roughly constant boundary traffic,
+     growing mildly with the per-node problem size *)
+  min 64 (16 + (pages_per_node / 64))
+
+let make_plans ~params ~pages_per_array =
+  let { nodes; seed; cells; _ } = params in
+  let rng = Rng.create seed in
+  let e_base = 0 and h_base = pages_per_array in
+  let plans =
+    Array.init nodes (fun node ->
+        {
+          own_e = slice ~pages:pages_per_array ~nodes ~node ~base:e_base;
+          own_h = slice ~pages:pages_per_array ~nodes ~node ~base:h_base;
+          read_h = [];
+          read_e = [];
+          cells_per_node = cells / nodes;
+        })
+  in
+  if nodes > 1 then begin
+    let pages_per_node = (2 * pages_per_array) / nodes in
+    let w = window_pages ~pages_per_node in
+    let partners = 8 in
+    let pick_windows node ~from_array =
+      (* [partners] windows of w/partners pages each, on random other
+         nodes, within the partner's slice of the opposite array *)
+      let per_window = max 1 (w / partners) in
+      let acc = ref [] in
+      for _ = 1 to partners do
+        let partner =
+          let p = Rng.int rng (nodes - 1) in
+          if p >= node then p + 1 else p
+        in
+        let base = if from_array = `E then 0 else pages_per_array in
+        let sl = slice ~pages:pages_per_array ~nodes ~node:partner ~base in
+        match sl with
+        | [] -> ()
+        | first :: _ ->
+          let len = List.length sl in
+          let start = Rng.int rng (max 1 (len - per_window + 1)) in
+          for j = 0 to min per_window len - 1 do
+            let page = first + ((start + j) mod len) in
+            if not (List.mem page !acc) then acc := page :: !acc
+          done
+      done;
+      !acc
+    in
+    Array.iteri
+      (fun node plan ->
+        plans.(node) <-
+          {
+            plan with
+            read_h = pick_windows node ~from_array:`H;
+            read_e = pick_windows node ~from_array:`E;
+          })
+      plans
+  end;
+  plans
+
+let run ~mm ?memory_pages ?(internode_paging = true) ?audit params =
+  let { cells; nodes; iterations; _ } = params in
+  if cells <= 0 || nodes <= 0 || iterations <= 0 then
+    invalid_arg "Em3d.run: bad parameters";
+  let pages_per_array =
+    (((cells + 1) / 2) + cells_per_page - 1) / cells_per_page
+  in
+  let config = Config.with_mm (Config.default ~nodes) mm in
+  let config =
+    match memory_pages with
+    | Some pages -> Config.with_memory_pages config pages
+    | None -> config
+  in
+  let config =
+    { config with asvm = { config.asvm with internode_paging } }
+  in
+  let cl = Cluster.create config in
+  let sharers = List.init nodes Fun.id in
+  let obj =
+    Cluster.create_shared_object cl ~size_pages:(2 * pages_per_array) ~sharers ()
+  in
+  let tasks =
+    Array.init nodes (fun node ->
+        let task = Cluster.create_task cl ~node in
+        Cluster.map cl ~task ~obj ~start:0 ~npages:(2 * pages_per_array)
+          ~inherit_:Address_map.Inherit_share;
+        task)
+  in
+  let plans = make_plans ~params ~pages_per_array in
+  let barrier = Cluster.Barrier.create cl ~parties:nodes in
+  let compute_ms plan =
+    float_of_int plan.cells_per_node /. 2. *. compute_us_per_cell_iteration
+    /. 1000.
+  in
+  let engine = Cluster.engine cl in
+  (* one phase: read the remote boundary pages, update (write) the own
+     pages, charge the computation, then synchronize *)
+  let phase task plan ~reads ~writes k =
+    let rec touch_all want pages k =
+      match pages with
+      | [] -> k ()
+      | vpage :: rest ->
+        Cluster.touch cl ~task ~vpage ~want (fun () -> touch_all want rest k)
+    in
+    touch_all Prot.Read_only reads (fun () ->
+        touch_all Prot.Read_write writes (fun () ->
+            Asvm_simcore.Engine.schedule engine ~delay:(compute_ms plan)
+              (fun () -> Cluster.Barrier.arrive barrier k)))
+  in
+  let finished = ref 0 in
+  (* initialization: every node materializes its own pages (not part of
+     the measured time, as in the paper) *)
+  let t_start = ref 0. in
+  Array.iteri
+    (fun node task ->
+      let plan = plans.(node) in
+      let rec iterate i k =
+        if i >= iterations then k ()
+        else
+          phase task plan ~reads:plan.read_h ~writes:plan.own_e (fun () ->
+              phase task plan ~reads:plan.read_e ~writes:plan.own_h (fun () ->
+                  iterate (i + 1) k))
+      in
+      let init () =
+        let rec claim pages k =
+          match pages with
+          | [] -> k ()
+          | vpage :: rest ->
+            Cluster.touch cl ~task ~vpage ~want:Prot.Read_write (fun () ->
+                claim rest k)
+        in
+        claim (plan.own_e @ plan.own_h) (fun () ->
+            Cluster.Barrier.arrive barrier (fun () ->
+                if node = 0 then t_start := Cluster.now cl;
+                iterate 0 (fun () -> incr finished)))
+      in
+      init ())
+    tasks;
+  Cluster.run cl;
+  if !finished <> nodes then failwith "Em3d.run: nodes did not finish";
+  (match (audit, Cluster.backend cl) with
+  | Some f, `Asvm a -> f a
+  | Some _, `Xmm _ | None, _ -> ());
+  let faults =
+    Array.fold_left (fun acc vm -> acc + Vm.faults vm) 0
+      (Array.init nodes (Cluster.node_vm cl))
+  in
+  {
+    params;
+    seconds = (Cluster.now cl -. !t_start) /. 1000.;
+    faults;
+    protocol_messages = Cluster.protocol_messages cl;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Word-level validation                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Small instance, one word per cell: E cells at addresses [0, n/2),
+   H cells at [n/2, n). Every value computation runs through the real
+   distributed memory; the result must equal a sequential reference. *)
+let validate ~mm ~cells ~nodes ~iterations ~seed =
+  let half = cells / 2 in
+  let rng = Rng.create seed in
+  let edges =
+    Array.init cells (fun _ -> Array.init 3 (fun _ -> Rng.int rng half))
+  in
+  (* sequential reference *)
+  let reference () =
+    let e = Array.make half 0 and h = Array.make half 0 in
+    for c = 0 to half - 1 do
+      e.(c) <- c + 1;
+      h.(c) <- (2 * c) + 1
+    done;
+    for _ = 1 to iterations do
+      for c = 0 to half - 1 do
+        e.(c) <- Array.fold_left (fun acc n -> acc + h.(n)) 0 edges.(c) mod 1000003
+      done;
+      for c = 0 to half - 1 do
+        h.(c) <-
+          Array.fold_left (fun acc n -> acc + e.(n)) 0 edges.(half + c) mod 1000003
+      done
+    done;
+    (e, h)
+  in
+  let config = Config.with_mm (Config.default ~nodes) mm in
+  let cl = Cluster.create config in
+  let wpp = config.Config.vm.words_per_page in
+  let pages = ((cells + wpp - 1) / wpp) + 1 in
+  let sharers = List.init nodes Fun.id in
+  let obj = Cluster.create_shared_object cl ~size_pages:pages ~sharers () in
+  let tasks =
+    Array.init nodes (fun node ->
+        let task = Cluster.create_task cl ~node in
+        Cluster.map cl ~task ~obj ~start:0 ~npages:pages
+          ~inherit_:Address_map.Inherit_share;
+        task)
+  in
+  let barrier = Cluster.Barrier.create cl ~parties:nodes in
+  let lo node = node * half / nodes in
+  let hi node = (node + 1) * half / nodes in
+  let finished = ref 0 in
+  Array.iteri
+    (fun node task ->
+      let rd addr k = Cluster.read_word cl ~task ~addr k in
+      let wr addr value k = Cluster.write_word cl ~task ~addr ~value k in
+      (* update cells [which + c] for c in [lo, hi) from the opposite
+         array at base [src_base] *)
+      let update_range ~dst_base ~src_base k =
+        let rec cell c k =
+          if c >= hi node then k ()
+          else
+            let rec sum j acc k =
+              if j >= 3 then k acc
+              else
+                rd (src_base + edges.(dst_base + c).(j)) (fun v ->
+                    sum (j + 1) (acc + v) k)
+            in
+            sum 0 0 (fun total ->
+                wr
+                  ((if dst_base = 0 then 0 else half) + c)
+                  (total mod 1000003)
+                  (fun () -> cell (c + 1) k))
+        in
+        cell (lo node) k
+      in
+      let init k =
+        let rec go c k =
+          if c >= hi node then k ()
+          else
+            wr c (c + 1) (fun () ->
+                wr (half + c) ((2 * c) + 1) (fun () -> go (c + 1) k))
+        in
+        go (lo node) k
+      in
+      let rec iterate i k =
+        if i >= iterations then k ()
+        else
+          update_range ~dst_base:0 ~src_base:half (fun () ->
+              Cluster.Barrier.arrive barrier (fun () ->
+                  update_range ~dst_base:half ~src_base:0 (fun () ->
+                      Cluster.Barrier.arrive barrier (fun () ->
+                          iterate (i + 1) k))))
+      in
+      init (fun () ->
+          Cluster.Barrier.arrive barrier (fun () ->
+              iterate 0 (fun () -> incr finished))))
+    tasks;
+  Cluster.run cl;
+  if !finished <> nodes then failwith "Em3d.validate: nodes did not finish";
+  let e_ref, h_ref = reference () in
+  let ok = ref true in
+  let check_task = tasks.(0) in
+  for c = 0 to half - 1 do
+    let got = ref (-1) in
+    Cluster.read_word cl ~task:check_task ~addr:c (fun v -> got := v);
+    Cluster.run cl;
+    if !got <> e_ref.(c) then ok := false;
+    Cluster.read_word cl ~task:check_task ~addr:(half + c) (fun v -> got := v);
+    Cluster.run cl;
+    if !got <> h_ref.(c) then ok := false
+  done;
+  !ok

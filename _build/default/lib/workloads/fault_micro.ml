@@ -1,0 +1,116 @@
+module Cluster = Asvm_cluster.Cluster
+module Config = Asvm_cluster.Config
+module Prot = Asvm_machvm.Prot
+module Address_map = Asvm_machvm.Address_map
+
+type fault_kind =
+  | Write_fault of { read_copies : int }
+  | Write_upgrade of { read_copies : int }
+  | Read_fault of { nth_reader : int }
+
+let describe = function
+  | Write_fault { read_copies = n } ->
+    Printf.sprintf "write fault, %d read cop%s" n (if n = 1 then "y" else "ies")
+  | Write_upgrade { read_copies = n } ->
+    Printf.sprintf
+      "write fault, %d read cop%s, faulting node has read copy" n
+      (if n = 1 then "y" else "ies")
+  | Read_fault { nth_reader = n } ->
+    Printf.sprintf "read fault, faulting node is reader #%d" n
+
+(* Node roles: 0 = I/O node (pager; XMM manager too), 1 = initializer,
+   2.. = additional readers, last = faulting node. *)
+let measure ?(nodes = 72) ~mm kind =
+  let needed =
+    match kind with
+    | Write_fault { read_copies } -> read_copies + 2
+    | Write_upgrade { read_copies } -> read_copies + 2
+    | Read_fault { nth_reader } -> nth_reader + 2
+  in
+  if nodes < needed then invalid_arg "Fault_micro.measure: too few nodes";
+  let config = Config.with_mm (Config.default ~nodes) mm in
+  let cl = Cluster.create config in
+  let sharers = List.init nodes Fun.id in
+  let obj = Cluster.create_shared_object cl ~size_pages:4 ~sharers () in
+  let task_of = Array.make nodes None in
+  let task node =
+    match task_of.(node) with
+    | Some t -> t
+    | None ->
+      let t = Cluster.create_task cl ~node in
+      Cluster.map cl ~task:t ~obj ~start:0 ~npages:4
+        ~inherit_:Address_map.Inherit_share;
+      task_of.(node) <- Some t;
+      t
+  in
+  let sync_touch node want =
+    let ok = ref false in
+    Cluster.touch cl ~task:(task node) ~vpage:0 ~want (fun () -> ok := true);
+    Cluster.run cl;
+    assert !ok
+  in
+  let faulter = nodes - 1 in
+  (* the initializer dirties the page *)
+  let wr_init () =
+    let ok = ref false in
+    Cluster.write_word cl ~task:(task 1) ~addr:0 ~value:1 (fun () -> ok := true);
+    Cluster.run cl;
+    assert !ok
+  in
+  wr_init ();
+  (* build up the read-copy population *)
+  let readers_before, faulter_has_copy, want =
+    match kind with
+    | Write_fault { read_copies } -> (read_copies - 1, false, Prot.Read_write)
+    | Write_upgrade { read_copies } -> (read_copies - 2, true, Prot.Read_write)
+    | Read_fault { nth_reader } -> (nth_reader - 1, false, Prot.Read_only)
+  in
+  if readers_before < -1 then invalid_arg "Fault_micro.measure: bad population";
+  for r = 1 to max 0 readers_before do
+    sync_touch (1 + r) Prot.Read_only
+  done;
+  if faulter_has_copy then sync_touch faulter Prot.Read_only;
+  (* the measured fault *)
+  let t0 = Cluster.now cl in
+  let done_ = ref false in
+  Cluster.touch cl ~task:(task faulter) ~vpage:0 ~want (fun () -> done_ := true);
+  Cluster.run cl;
+  assert !done_;
+  Cluster.now cl -. t0
+
+let table1 ?(nodes = 72) () =
+  let rows =
+    [
+      Write_fault { read_copies = 1 };
+      Write_fault { read_copies = 2 };
+      Write_fault { read_copies = 64 };
+      Write_upgrade { read_copies = 2 };
+      Write_upgrade { read_copies = 64 };
+      Read_fault { nth_reader = 1 };
+      Read_fault { nth_reader = 2 };
+    ]
+  in
+  List.map
+    (fun kind ->
+      let asvm = measure ~nodes ~mm:Config.Mm_asvm kind in
+      let xmm = measure ~nodes ~mm:Config.Mm_xmm kind in
+      (describe kind, asvm, xmm))
+    rows
+
+let figure10 ?(nodes = 72) ~readers () =
+  List.map
+    (fun n ->
+      let aw = measure ~nodes ~mm:Config.Mm_asvm (Write_fault { read_copies = n }) in
+      let au =
+        if n >= 2 then
+          measure ~nodes ~mm:Config.Mm_asvm (Write_upgrade { read_copies = n })
+        else nan
+      in
+      let xw = measure ~nodes ~mm:Config.Mm_xmm (Write_fault { read_copies = n }) in
+      let xu =
+        if n >= 2 then
+          measure ~nodes ~mm:Config.Mm_xmm (Write_upgrade { read_copies = n })
+        else nan
+      in
+      (n, aw, au, xw, xu))
+    readers

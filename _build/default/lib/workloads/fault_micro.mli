@@ -1,0 +1,32 @@
+(** Page-fault latency microbenchmarks — paper Table 1 and Figure 10.
+
+    Setup mirrors the paper's: the measurement runs on a 72-node
+    machine; the XMM stack (manager + pager, on the I/O node) is remote
+    from both the faulting node and the nodes holding read copies.
+
+    "A page with N read copies" means N nodes hold the page, the first
+    of them being the node that initialized (wrote) it — so with N = 1
+    the only copy is still dirty, and under XMM the fault pays the
+    paging-space disk write ("first remote request" behaviour). *)
+
+type fault_kind =
+  | Write_fault of { read_copies : int }
+      (** faulting node holds no copy *)
+  | Write_upgrade of { read_copies : int }
+      (** faulting node holds one of the read copies *)
+  | Read_fault of { nth_reader : int }  (** 1 = first remote reader *)
+
+val describe : fault_kind -> string
+
+(** Latency in simulated milliseconds of one such fault. *)
+val measure :
+  ?nodes:int -> mm:Asvm_cluster.Config.mm -> fault_kind -> float
+
+(** The seven rows of Table 1: [(label, asvm_ms, xmm_ms)]. *)
+val table1 : ?nodes:int -> unit -> (string * float * float) list
+
+(** Figure 10: write-fault latency vs. number of read copies.
+    Returns [(readers, asvm_write, asvm_upgrade, xmm_write, xmm_upgrade)]
+    for each point. *)
+val figure10 :
+  ?nodes:int -> readers:int list -> unit -> (int * float * float * float * float) list

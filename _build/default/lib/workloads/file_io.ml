@@ -1,0 +1,116 @@
+module Cluster = Asvm_cluster.Cluster
+module Config = Asvm_cluster.Config
+module Prot = Asvm_machvm.Prot
+module Address_map = Asvm_machvm.Address_map
+module Store_pager = Asvm_pager.Store_pager
+
+type result = {
+  nodes : int;
+  per_node_mb_s : float;
+  total_ms : float;
+  pager_supplies : int;
+}
+
+let page_bytes = 8192.
+let mb = 1024. *. 1024.
+
+let setup ~mm ~nodes ~file_pages ~with_data ~stripes =
+  let config = Config.with_mm (Config.default ~nodes) mm in
+  let cl = Cluster.create config in
+  let obj =
+    if with_data then
+      Cluster.create_file_object cl ~size_pages:file_pages
+        ~sharers:(List.init nodes Fun.id)
+        ~data:(fun addr -> 40000 + addr)
+        ~stripes ()
+    else
+      (* a new file: the pager supplies initially zero-filled pages from
+         memory, no disk read *)
+      Cluster.create_file_object cl ~size_pages:file_pages
+        ~sharers:(List.init nodes Fun.id)
+        ~stripes ()
+  in
+  let tasks =
+    Array.init nodes (fun node ->
+        let task = Cluster.create_task cl ~node in
+        Cluster.map cl ~task ~obj ~start:0 ~npages:file_pages
+          ~inherit_:Address_map.Inherit_share;
+        task)
+  in
+  (cl, Cluster.object_pagers cl obj, tasks)
+
+(* Run one access loop per node concurrently; returns each node's
+   completion time. *)
+let run_concurrent cl tasks ~pages_of ~want =
+  let nodes = Array.length tasks in
+  let finish = Array.make nodes 0. in
+  let remaining = ref nodes in
+  Array.iteri
+    (fun node task ->
+      let rec step = function
+        | [] ->
+          finish.(node) <- Cluster.now cl;
+          decr remaining
+        | vpage :: rest ->
+          Cluster.touch cl ~task ~vpage ~want (fun () -> step rest)
+      in
+      step (pages_of node))
+    tasks;
+  Cluster.run cl;
+  if !remaining <> 0 then failwith "File_io: some nodes did not finish";
+  finish
+
+let write_test ~mm ~nodes ?(file_mb = 4) ?(stripes = 1) () =
+  let file_pages = file_mb * 128 in
+  let cl, pagers, tasks = setup ~mm ~nodes ~file_pages ~with_data:false ~stripes in
+  let section = file_pages / nodes in
+  let pages_of node = List.init section (fun i -> (node * section) + i) in
+  let t0 = Cluster.now cl in
+  let finish = run_concurrent cl tasks ~pages_of ~want:Prot.Read_write in
+  let per_node_rates =
+    Array.map
+      (fun t ->
+        let bytes = float_of_int section *. page_bytes in
+        bytes /. mb /. ((t -. t0) /. 1000.))
+      finish
+  in
+  let mean = Array.fold_left ( +. ) 0. per_node_rates /. float_of_int nodes in
+  {
+    nodes;
+    per_node_mb_s = mean;
+    total_ms = Cluster.now cl -. t0;
+    pager_supplies =
+      List.fold_left (fun acc p -> acc + Store_pager.supplies p) 0 pagers;
+  }
+
+let read_test ~mm ~nodes ?(file_mb = 4) ?(stripes = 1) () =
+  let file_pages = file_mb * 128 in
+  let cl, pagers, tasks = setup ~mm ~nodes ~file_pages ~with_data:true ~stripes in
+  let pages_of _node = List.init file_pages Fun.id in
+  let t0 = Cluster.now cl in
+  let finish = run_concurrent cl tasks ~pages_of ~want:Prot.Read_only in
+  let per_node_rates =
+    Array.map
+      (fun t ->
+        let bytes = float_of_int file_pages *. page_bytes in
+        bytes /. mb /. ((t -. t0) /. 1000.))
+      finish
+  in
+  let mean = Array.fold_left ( +. ) 0. per_node_rates /. float_of_int nodes in
+  {
+    nodes;
+    per_node_mb_s = mean;
+    total_ms = Cluster.now cl -. t0;
+    pager_supplies =
+      List.fold_left (fun acc p -> acc + Store_pager.supplies p) 0 pagers;
+  }
+
+let table2 ~node_counts ?(file_mb = 4) () =
+  List.map
+    (fun nodes ->
+      let aw = (write_test ~mm:Config.Mm_asvm ~nodes ~file_mb ()).per_node_mb_s in
+      let xw = (write_test ~mm:Config.Mm_xmm ~nodes ~file_mb ()).per_node_mb_s in
+      let ar = (read_test ~mm:Config.Mm_asvm ~nodes ~file_mb ()).per_node_mb_s in
+      let xr = (read_test ~mm:Config.Mm_xmm ~nodes ~file_mb ()).per_node_mb_s in
+      (nodes, aw, xw, ar, xr))
+    node_counts

@@ -1,0 +1,43 @@
+(** Mapped-filesystem transfer rates — paper Table 2 / Figures 12, 13.
+
+    The paper bypasses the OSF1/AD server and maps the file with
+    [mmap()]: each node reads/writes directly through the VM system.
+
+    - {b Write}: all nodes write disjoint sections of a 4 MB file with
+      asynchronous writes; the combined ceiling is the rate at which the
+      file pager supplies initially zero-filled pages.
+    - {b Read}: all nodes read the whole 4 MB file in parallel; each
+      node's ceiling is the pager's supply rate for file contents — but
+      under ASVM pages already resident anywhere are served by their
+      owners, so the aggregate scales. *)
+
+type result = {
+  nodes : int;
+  per_node_mb_s : float;  (** effective rate seen by each node *)
+  total_ms : float;
+  pager_supplies : int;  (** pages the file pager actually served *)
+}
+
+(** [stripes > 1] spreads the file over several pager tasks served
+    round-robin by page — the section 6 striping proposal (ASVM only). *)
+val write_test :
+  mm:Asvm_cluster.Config.mm ->
+  nodes:int ->
+  ?file_mb:int ->
+  ?stripes:int ->
+  unit ->
+  result
+
+val read_test :
+  mm:Asvm_cluster.Config.mm ->
+  nodes:int ->
+  ?file_mb:int ->
+  ?stripes:int ->
+  unit ->
+  result
+
+(** Table 2: for each node count, ASVM write / XMM write / ASVM read /
+    XMM read in MB/s. *)
+val table2 :
+  node_counts:int list -> ?file_mb:int -> unit ->
+  (int * float * float * float * float) list

@@ -1,0 +1,204 @@
+module Cluster = Asvm_cluster.Cluster
+module Config = Asvm_cluster.Config
+module Prot = Asvm_machvm.Prot
+module Address_map = Asvm_machvm.Address_map
+module Vm = Asvm_machvm.Vm
+
+type params = { grid : int; nodes : int; iterations : int }
+
+type result = { params : params; seconds : float; faults : int }
+
+(* 8-byte grid cells: 1024 per 8 KB page *)
+let cells_per_page = 1024
+let compute_us_per_cell = 0.35
+
+(* ------------------------------------------------------------------ *)
+(* Page-granular benchmark                                            *)
+(* ------------------------------------------------------------------ *)
+
+let run ~mm ?memory_pages { grid; nodes; iterations } =
+  if grid <= 0 || nodes <= 0 || iterations <= 0 then
+    invalid_arg "Sor.run: bad parameters";
+  let total_cells = grid * grid in
+  let pages = (total_cells + cells_per_page - 1) / cells_per_page in
+  let config = Config.with_mm (Config.default ~nodes) mm in
+  let config =
+    match memory_pages with
+    | Some m -> Config.with_memory_pages config m
+    | None -> config
+  in
+  let cl = Cluster.create config in
+  let sharers = List.init nodes Fun.id in
+  let obj = Cluster.create_shared_object cl ~size_pages:pages ~sharers () in
+  let tasks =
+    Array.init nodes (fun node ->
+        let task = Cluster.create_task cl ~node in
+        Cluster.map cl ~task ~obj ~start:0 ~npages:pages
+          ~inherit_:Address_map.Inherit_share;
+        task)
+  in
+  (* strip partition: node n owns pages [lo, hi); it reads the last page
+     of the strip above and the first page of the strip below *)
+  let strip node =
+    let per = pages / nodes and rem = pages mod nodes in
+    let lo = (node * per) + min node rem in
+    let hi = lo + per + if node < rem then 1 else 0 in
+    (lo, hi)
+  in
+  let barrier = Cluster.Barrier.create cl ~parties:nodes in
+  let engine = Cluster.engine cl in
+  let compute_ms =
+    float_of_int (total_cells / nodes) *. compute_us_per_cell /. 1000.
+  in
+  let finished = ref 0 in
+  let t_start = ref 0. in
+  Array.iteri
+    (fun node task ->
+      let lo, hi = strip node in
+      let own = List.init (hi - lo) (fun i -> lo + i) in
+      let neighbours =
+        (if node > 0 then [ snd (strip (node - 1)) - 1 ] else [])
+        @ (if node < nodes - 1 then [ fst (strip (node + 1)) ] else [])
+        |> List.filter (fun p -> p >= 0 && p < pages)
+      in
+      let rec touch_all want pages k =
+        match pages with
+        | [] -> k ()
+        | vpage :: rest ->
+          Cluster.touch cl ~task ~vpage ~want (fun () -> touch_all want rest k)
+      in
+      let rec iterate i k =
+        if i >= iterations then k ()
+        else
+          touch_all Prot.Read_only neighbours (fun () ->
+              touch_all Prot.Read_write own (fun () ->
+                  Asvm_simcore.Engine.schedule engine ~delay:compute_ms
+                    (fun () ->
+                      Cluster.Barrier.arrive barrier (fun () -> iterate (i + 1) k))))
+      in
+      touch_all Prot.Read_write own (fun () ->
+          Cluster.Barrier.arrive barrier (fun () ->
+              if node = 0 then t_start := Cluster.now cl;
+              iterate 0 (fun () -> incr finished))))
+    tasks;
+  Cluster.run cl;
+  if !finished <> nodes then failwith "Sor.run: nodes did not finish";
+  let faults =
+    List.fold_left
+      (fun acc n -> acc + Vm.faults (Cluster.node_vm cl n))
+      0 sharers
+  in
+  {
+    params = { grid; nodes; iterations };
+    seconds = (Cluster.now cl -. !t_start) /. 1000.;
+    faults;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Word-level validation                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Jacobi-style integer stencil: cell <- (N + S + E + W) / 4 over the
+   interior, borders fixed. Row r of the grid lives at words
+   [r*grid, (r+1)*grid). *)
+let validate ~mm ~grid ~nodes ~iterations =
+  let reference () =
+    let g = Array.init (grid * grid) (fun i -> (i * 37) mod 1009) in
+    let next = Array.copy g in
+    for _ = 1 to iterations do
+      for r = 1 to grid - 2 do
+        for c = 1 to grid - 2 do
+          let at r c = g.((r * grid) + c) in
+          next.((r * grid) + c) <-
+            (at (r - 1) c + at (r + 1) c + at r (c - 1) + at r (c + 1)) / 4
+        done
+      done;
+      Array.blit next 0 g 0 (grid * grid)
+    done;
+    g
+  in
+  let config = Config.with_mm (Config.default ~nodes) mm in
+  let cl = Cluster.create config in
+  let wpp = config.Config.vm.words_per_page in
+  let pages = ((grid * grid) + wpp - 1) / wpp + 1 in
+  let sharers = List.init nodes Fun.id in
+  (* double buffering: two grids in one object *)
+  let obj = Cluster.create_shared_object cl ~size_pages:(2 * pages) ~sharers () in
+  let buf_b = pages * wpp in
+  let tasks =
+    Array.init nodes (fun node ->
+        let task = Cluster.create_task cl ~node in
+        Cluster.map cl ~task ~obj ~start:0 ~npages:(2 * pages)
+          ~inherit_:Address_map.Inherit_share;
+        task)
+  in
+  let barrier = Cluster.Barrier.create cl ~parties:nodes in
+  let rows node =
+    let interior = grid - 2 in
+    let per = interior / nodes and rem = interior mod nodes in
+    let lo = 1 + (node * per) + min node rem in
+    (lo, lo + per + (if node < rem then 1 else 0))
+  in
+  let finished = ref 0 in
+  Array.iteri
+    (fun node task ->
+      let rd addr k = Cluster.read_word cl ~task ~addr k in
+      let wr addr v k = Cluster.write_word cl ~task ~addr ~value:v k in
+      let lo, hi = rows node in
+      let step ~src ~dst r c k =
+        let at r c k = rd (src + (r * grid) + c) k in
+        at (r - 1) c (fun n ->
+            at (r + 1) c (fun s ->
+                at r (c - 1) (fun w ->
+                    at r (c + 1) (fun e ->
+                        wr (dst + (r * grid) + c) ((n + s + w + e) / 4) k))))
+      in
+      let sweep ~src ~dst k =
+        let rec row r k =
+          if r >= hi then k ()
+          else
+            let rec col c k =
+              if c >= grid - 1 then k ()
+              else step ~src ~dst r c (fun () -> col (c + 1) k)
+            in
+            col 1 (fun () -> row (r + 1) k)
+        in
+        row lo k
+      in
+      (* copy borders + initialize own rows in both buffers *)
+      let init k =
+        let rec go i k =
+          if i >= grid * grid then k ()
+          else
+            let v = (i * 37) mod 1009 in
+            let r = i / grid in
+            if (r >= lo && r < hi) || (node = 0 && (r < 1 || r >= grid - 1))
+            then wr i v (fun () -> wr (buf_b + i) v (fun () -> go (i + 1) k))
+            else go (i + 1) k
+        in
+        go 0 k
+      in
+      let rec iterate i ~src ~dst k =
+        if i >= iterations then k ()
+        else
+          sweep ~src ~dst (fun () ->
+              Cluster.Barrier.arrive barrier (fun () ->
+                  iterate (i + 1) ~src:dst ~dst:src k))
+      in
+      init (fun () ->
+          Cluster.Barrier.arrive barrier (fun () ->
+              iterate 0 ~src:0 ~dst:buf_b (fun () -> incr finished))))
+    tasks;
+  Cluster.run cl;
+  if !finished <> nodes then failwith "Sor.validate: nodes did not finish";
+  let expected = reference () in
+  let final_base = if iterations mod 2 = 0 then 0 else buf_b in
+  let ok = ref true in
+  for i = 0 to (grid * grid) - 1 do
+    let got = ref (-1) in
+    Cluster.read_word cl ~task:tasks.(0) ~addr:(final_base + i) (fun v ->
+        got := v);
+    Cluster.run cl;
+    if !got <> expected.(i) then ok := false
+  done;
+  !ok

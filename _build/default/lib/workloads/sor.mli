@@ -1,0 +1,29 @@
+(** SOR — red/black successive over-relaxation on a strip-partitioned
+    grid.
+
+    A complementary SVM application to EM3D: where EM3D's remote edges
+    scatter across partner nodes, SOR shares only the boundary rows
+    between adjacent strips, so each node exchanges pages with exactly
+    two neighbours per iteration. This is the nearest-neighbour pattern
+    most SVM literature (including Li's thesis, the paper's reference
+    [1]) evaluates. *)
+
+type params = {
+  grid : int;  (** grid is [grid x grid] cells *)
+  nodes : int;
+  iterations : int;
+}
+
+type result = {
+  params : params;
+  seconds : float;
+  faults : int;
+}
+
+(** Page-granular benchmark run (like {!Em3d.run}). *)
+val run : mm:Asvm_cluster.Config.mm -> ?memory_pages:int -> params -> result
+
+(** Word-level validation of a small grid against a sequential
+    reference stencil computation. *)
+val validate :
+  mm:Asvm_cluster.Config.mm -> grid:int -> nodes:int -> iterations:int -> bool

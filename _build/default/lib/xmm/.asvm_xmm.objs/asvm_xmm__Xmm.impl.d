@@ -1,0 +1,1 @@
+lib/xmm/xmm.ml: Array Asvm_machvm Asvm_norma Asvm_pager Asvm_simcore Bytes Hashtbl List Option Printf Queue

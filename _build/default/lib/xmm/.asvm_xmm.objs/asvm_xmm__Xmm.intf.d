@@ -1,0 +1,1 @@
+lib/xmm/xmm.mli: Asvm_machvm Asvm_mesh Asvm_norma Asvm_pager

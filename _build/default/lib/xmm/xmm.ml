@@ -1,0 +1,467 @@
+module Ipc = Asvm_norma.Ipc
+module Vm = Asvm_machvm.Vm
+module Prot = Asvm_machvm.Prot
+module Contents = Asvm_machvm.Contents
+module Emmi = Asvm_machvm.Emmi
+module Ids = Asvm_machvm.Ids
+module Store_pager = Asvm_pager.Store_pager
+
+(* XMMI: the XMM-internal protocol, an extension of EMMI carried over
+   NORMA-IPC. *)
+type msg =
+  | Request of {
+      origin : int;
+      obj : Ids.obj_id;
+      page : int;
+      desired : Prot.t;
+      upgrade : bool;
+    }
+  | Lock of { obj : Ids.obj_id; page : int; max_access : Prot.t; clean : bool }
+  | Lock_done of {
+      node : int;
+      obj : Ids.obj_id;
+      page : int;
+      contents : Contents.t option;
+    }
+  | Supply of {
+      obj : Ids.obj_id;
+      page : int;
+      contents : Contents.t;
+      lock : Prot.t;
+    }
+  | Grant of { obj : Ids.obj_id; page : int }
+  | Returned of {
+      node : int;
+      obj : Ids.obj_id;
+      page : int;
+      contents : Contents.t;
+      dirty : bool;
+    }
+  | Fork_request of { dst_node : int; dst_obj : Ids.obj_id; page : int }
+  | Fork_supply of { dst_obj : Ids.obj_id; page : int; contents : Contents.t }
+  | Pager_hop of { cont : int }
+      (** local Mach IPC with the user-level pager task; modeled as a
+          loopback NORMA message so the manager node's send/receive
+          stations are honestly occupied *)
+
+(* page-state bytes in the manager's dense matrix *)
+let st_invalid = '\000'
+let st_read = '\001'
+let st_write = '\002'
+
+type wait = { mutable remaining : int; finished : unit -> unit }
+
+type mstate = {
+  m_obj : Ids.obj_id;
+  m_size : int;
+  m_node : int;
+  m_pager : Store_pager.t;
+  m_sharers : int list;
+  (* one byte per page per node: the memory cost the paper criticizes *)
+  m_state : (int, Bytes.t) Hashtbl.t;
+  m_cleaned : Bytes.t;
+  m_busy : (int, unit) Hashtbl.t;
+  m_queue : (int, msg Queue.t) Hashtbl.t;
+  m_waits : (int, wait) Hashtbl.t;
+}
+
+type export = { e_src_node : int; e_src_task : Ids.task_id }
+
+type fork_pool = {
+  limit : int;
+  mutable in_use : int;
+  waiting : (unit -> unit) Queue.t;
+}
+
+type t = {
+  ipc : msg Ipc.t;
+  vms : Vm.t array;
+  words_per_page : int;
+  mutable ports : msg Ipc.port array;
+  managers : (Ids.obj_id, mstate) Hashtbl.t;
+  exports : (Ids.obj_id, export) Hashtbl.t;
+  pools : fork_pool array;
+  conts : (int, unit -> unit) Hashtbl.t;
+  mutable next_cont : int;
+}
+
+let node_state ms node =
+  match Hashtbl.find_opt ms.m_state node with
+  | Some b -> b
+  | None ->
+    let b = Bytes.make ms.m_size st_invalid in
+    Hashtbl.add ms.m_state node b;
+    b
+
+let writer_of ms page ~except =
+  List.find_opt
+    (fun n -> n <> except && Bytes.get (node_state ms n) page = st_write)
+    ms.m_sharers
+
+let readers_of ms page ~except =
+  List.filter
+    (fun n -> n <> except && Bytes.get (node_state ms n) page = st_read)
+    ms.m_sharers
+
+let manager_for t obj =
+  match Hashtbl.find_opt t.managers obj with
+  | Some ms -> ms
+  | None -> failwith (Printf.sprintf "Xmm: obj#%d has no manager" obj)
+
+let send t ~src ~dst_node ?carries_page msg =
+  Ipc.send t.ipc ~src ~dst:t.ports.(dst_node) ?carries_page msg
+
+(* One hop of local IPC between the kernel-resident XMM stack and the
+   user-level pager task on the same node. *)
+let pager_hop t ~node ~carries_page k =
+  let id = t.next_cont in
+  t.next_cont <- id + 1;
+  Hashtbl.add t.conts id k;
+  send t ~src:node ~dst_node:node ~carries_page (Pager_hop { cont = id })
+
+(* ------------------------------------------------------------------ *)
+(* Manager-side request processing                                    *)
+(* ------------------------------------------------------------------ *)
+
+let queue_of ms page =
+  match Hashtbl.find_opt ms.m_queue page with
+  | Some q -> q
+  | None ->
+    let q = Queue.create () in
+    Hashtbl.add ms.m_queue page q;
+    q
+
+(* Step 1 of the XMM protocol: create a coherent version of the page at
+   the pager. If some other node holds the page for writing, its copy is
+   downgraded/flushed and — if dirty — written into the paging space.
+   The first such write for a page hits the disk in the fault path. *)
+let make_coherent t ms ~origin ~page ~desired k =
+  match writer_of ms page ~except:origin with
+  | None -> k ()
+  | Some writer ->
+    let max_access =
+      if Prot.equal desired Prot.Read_write then Prot.No_access
+      else Prot.Read_only
+    in
+    Hashtbl.replace ms.m_waits page { remaining = 1; finished = k };
+    Bytes.set (node_state ms writer) page
+      (if Prot.equal max_access Prot.No_access then st_invalid else st_read);
+    send t ~src:ms.m_node ~dst_node:writer
+      (Lock { obj = ms.m_obj; page; max_access; clean = true })
+
+(* Step 2: for write requests, flush read copies everywhere else. *)
+let flush_readers t ms ~origin ~page ~desired k =
+  if not (Prot.equal desired Prot.Read_write) then k ()
+  else
+    match readers_of ms page ~except:origin with
+    | [] -> k ()
+    | readers ->
+      Hashtbl.replace ms.m_waits page
+        { remaining = List.length readers; finished = k };
+      List.iter
+        (fun r ->
+          Bytes.set (node_state ms r) page st_invalid;
+          send t ~src:ms.m_node ~dst_node:r
+            (Lock
+               { obj = ms.m_obj; page; max_access = Prot.No_access; clean = false }))
+        readers
+
+let rec run_request t ms ~origin ~page ~desired ~upgrade =
+  let obj = ms.m_obj in
+  make_coherent t ms ~origin ~page ~desired (fun () ->
+      flush_readers t ms ~origin ~page ~desired (fun () ->
+          if upgrade && Bytes.get (node_state ms origin) page <> st_invalid then begin
+            (* origin already holds the data: grant without contents *)
+            Bytes.set (node_state ms origin) page
+              (if Prot.equal desired Prot.Read_write then st_write else st_read);
+            if origin = ms.m_node then
+              Vm.lock_request t.vms.(origin) ~obj ~page
+                ~op:
+                  {
+                    Emmi.max_access = Prot.Read_write;
+                    clean = false;
+                    mode = Emmi.Lock_plain;
+                  }
+                ~reply:(fun _ -> ())
+            else send t ~src:ms.m_node ~dst_node:origin (Grant { obj; page });
+            unbusy t ms page
+          end
+          else
+            (* Step 3: forward the request to the pager, which now views
+               the origin as the page's only user. Local IPC to the
+               user-level pager task: request out, supply (with page)
+               back. *)
+            pager_hop t ~node:ms.m_node ~carries_page:false (fun () ->
+                Store_pager.request ms.m_pager ~obj ~page
+                  ~words:t.words_per_page (fun contents ->
+                    pager_hop t ~node:ms.m_node ~carries_page:true (fun () ->
+                        Bytes.set (node_state ms origin) page
+                          (if Prot.equal desired Prot.Read_write then st_write
+                           else st_read);
+                        if origin = ms.m_node then
+                          (* kernel and manager co-resident: plain EMMI *)
+                          Vm.data_supply t.vms.(origin) ~obj ~page ~contents
+                            ~lock:desired ~mode:Emmi.Supply_normal
+                        else
+                          send t ~src:ms.m_node ~dst_node:origin
+                            ~carries_page:true
+                            (Supply { obj; page; contents; lock = desired });
+                        unbusy t ms page)))))
+
+and unbusy t ms page =
+  Hashtbl.remove ms.m_busy page;
+  let q = queue_of ms page in
+  if not (Queue.is_empty q) then
+    match Queue.pop q with
+    | Request { origin; page; desired; upgrade; _ } ->
+      Hashtbl.add ms.m_busy page ();
+      run_request t ms ~origin ~page ~desired ~upgrade
+    | _ -> assert false
+
+let manager_request t ms ~origin ~page ~desired ~upgrade =
+  if Hashtbl.mem ms.m_busy page then
+    Queue.push
+      (Request { origin; obj = ms.m_obj; page; desired; upgrade })
+      (queue_of ms page)
+  else begin
+    Hashtbl.add ms.m_busy page ();
+    run_request t ms ~origin ~page ~desired ~upgrade
+  end
+
+let resume_wait ms page =
+  match Hashtbl.find_opt ms.m_waits page with
+  | None -> ()
+  | Some w ->
+    w.remaining <- w.remaining - 1;
+    if w.remaining <= 0 then begin
+      Hashtbl.remove ms.m_waits page;
+      w.finished ()
+    end
+
+let manager_lock_done t ms ~page ~contents =
+  match contents with
+  | Some c ->
+    (* a dirty copy came back: make it coherent at the pager (one local
+       IPC carrying the page); the disk write is paid the first time
+       the page is cleaned *)
+    pager_hop t ~node:ms.m_node ~carries_page:true (fun () ->
+        if Bytes.get ms.m_cleaned page = '\000' then begin
+          Bytes.set ms.m_cleaned page '\001';
+          Store_pager.clean ms.m_pager ~obj:ms.m_obj ~page ~contents:c
+            (fun () -> resume_wait ms page)
+        end
+        else begin
+          Store_pager.remember ms.m_pager ~obj:ms.m_obj ~page ~contents:c;
+          resume_wait ms page
+        end)
+  | None -> resume_wait ms page
+
+let manager_returned _t ms ~node ~page ~contents ~dirty =
+  Bytes.set (node_state ms node) page st_invalid;
+  if dirty then begin
+    (* no internode paging in XMM: dirty evictions go to the disk *)
+    Bytes.set ms.m_cleaned page '\001';
+    Store_pager.store_async ms.m_pager ~obj:ms.m_obj ~page ~contents
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Node-side (proxy) processing                                       *)
+(* ------------------------------------------------------------------ *)
+
+let handle_lock t ~node ~obj ~page ~max_access ~clean =
+  let vm = t.vms.(node) in
+  let ms = manager_for t obj in
+  Vm.lock_request vm ~obj ~page
+    ~op:{ Emmi.max_access; clean; mode = Emmi.Lock_plain }
+    ~reply:(fun result ->
+      let contents =
+        match result with
+        | Emmi.Lock_done { returned } -> returned
+        | Emmi.Lock_not_present -> None
+      in
+      send t ~src:node ~dst_node:ms.m_node
+        ~carries_page:(Option.is_some contents)
+        (Lock_done { node; obj; page; contents }))
+
+(* ------------------------------------------------------------------ *)
+(* Internal pager for remote fork                                     *)
+(* ------------------------------------------------------------------ *)
+
+let pool_acquire pool k =
+  if pool.in_use < pool.limit then begin
+    pool.in_use <- pool.in_use + 1;
+    k ()
+  end
+  else Queue.push k pool.waiting
+
+let pool_release pool =
+  pool.in_use <- pool.in_use - 1;
+  if not (Queue.is_empty pool.waiting) then begin
+    let k = Queue.pop pool.waiting in
+    pool.in_use <- pool.in_use + 1;
+    k ()
+  end
+
+let handle_fork_request t ~dst_node ~dst_obj ~page =
+  let e =
+    match Hashtbl.find_opt t.exports dst_obj with
+    | Some e -> e
+    | None ->
+      failwith (Printf.sprintf "Xmm: obj#%d is not an exported copy" dst_obj)
+  in
+  let vm = t.vms.(e.e_src_node) in
+  let pool = t.pools.(e.e_src_node) in
+  (* the copy-pager thread is held for the duration of the local fault:
+     this is the deadlock hazard of paper section 3.1 *)
+  pool_acquire pool (fun () ->
+      let rec attempt () =
+        Vm.touch vm ~task:e.e_src_task ~vpage:page ~want:Prot.Read_only
+          (fun () ->
+            match Vm.page_contents vm ~task:e.e_src_task ~vpage:page with
+            | Some contents ->
+              pool_release pool;
+              send t ~src:e.e_src_node ~dst_node ~carries_page:true
+                (Fork_supply { dst_obj; page; contents })
+            | None -> attempt ())
+      in
+      attempt ())
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let handle t node msg =
+  match msg with
+  | Request { origin; obj; page; desired; upgrade } ->
+    manager_request t (manager_for t obj) ~origin ~page ~desired ~upgrade
+  | Lock { obj; page; max_access; clean } ->
+    handle_lock t ~node ~obj ~page ~max_access ~clean
+  | Lock_done { node = _from; obj; page; contents } ->
+    manager_lock_done t (manager_for t obj) ~page ~contents
+  | Supply { obj; page; contents; lock } ->
+    Vm.data_supply t.vms.(node) ~obj ~page ~contents ~lock
+      ~mode:Emmi.Supply_normal
+  | Grant { obj; page } ->
+    Vm.lock_request t.vms.(node) ~obj ~page
+      ~op:
+        { Emmi.max_access = Prot.Read_write; clean = false; mode = Emmi.Lock_plain }
+      ~reply:(fun _ -> ())
+  | Returned { node = from; obj; page; contents; dirty } ->
+    manager_returned t (manager_for t obj) ~node:from ~page ~contents ~dirty
+  | Fork_request { dst_node; dst_obj; page } ->
+    handle_fork_request t ~dst_node ~dst_obj ~page
+  | Fork_supply { dst_obj; page; contents } ->
+    Vm.data_supply t.vms.(node) ~obj:dst_obj ~page ~contents
+      ~lock:Prot.Read_only ~mode:Emmi.Supply_normal
+  | Pager_hop { cont } -> (
+    match Hashtbl.find_opt t.conts cont with
+    | Some k ->
+      Hashtbl.remove t.conts cont;
+      k ()
+    | None -> failwith "Xmm: dangling pager continuation")
+
+let create ~net ~ipc_config ~vms ~words_per_page ~fork_threads =
+  let ipc = Ipc.create net ipc_config in
+  let n = Array.length vms in
+  let t =
+    {
+      ipc;
+      vms;
+      words_per_page;
+      ports = [||];
+      managers = Hashtbl.create 16;
+      exports = Hashtbl.create 16;
+      pools =
+        Array.init n (fun _ ->
+            { limit = fork_threads; in_use = 0; waiting = Queue.create () });
+      conts = Hashtbl.create 32;
+      next_cont = 0;
+    }
+  in
+  t.ports <-
+    Array.init n (fun node ->
+        Ipc.port ipc ~node ~handler:(fun _port msg -> handle t node msg));
+  t
+
+let ipc_messages t = Ipc.messages t.ipc
+
+let register_shared_object t ~obj ~size_pages ~manager_node ~pager ~sharers =
+  let ms =
+    {
+      m_obj = obj;
+      m_size = size_pages;
+      m_node = manager_node;
+      m_pager = pager;
+      m_sharers = sharers;
+      m_state = Hashtbl.create 8;
+      m_cleaned = Bytes.make size_pages '\000';
+      m_busy = Hashtbl.create 8;
+      m_queue = Hashtbl.create 8;
+      m_waits = Hashtbl.create 8;
+    }
+  in
+  Hashtbl.replace t.managers obj ms;
+  List.iter
+    (fun node ->
+      ignore (node_state ms node);
+      let local = node = manager_node in
+      let engine = Vm.engine t.vms.(node) in
+      let request ~page ~desired ~upgrade =
+        if local then
+          (* the faulting kernel hosts the manager: no NORMA involved *)
+          Asvm_simcore.Engine.schedule engine ~delay:0.05 (fun () ->
+              manager_request t ms ~origin:node ~page ~desired ~upgrade)
+        else
+          send t ~src:node ~dst_node:manager_node
+            (Request { origin = node; obj; page; desired; upgrade })
+      in
+      let manager =
+        {
+          Emmi.m_data_request =
+            (fun ~page ~desired -> request ~page ~desired ~upgrade:false);
+          m_data_unlock =
+            (fun ~page ~desired -> request ~page ~desired ~upgrade:true);
+          m_data_return =
+            (fun ~page ~contents ~dirty ->
+              if local then
+                Asvm_simcore.Engine.schedule engine ~delay:0.05 (fun () ->
+                    manager_returned t ms ~node ~page ~contents ~dirty)
+              else
+                send t ~src:node ~dst_node:manager_node ~carries_page:true
+                  (Returned { node; obj; page; contents; dirty }));
+        }
+      in
+      Vm.set_manager t.vms.(node) obj (Some manager))
+    sharers
+
+let state_bytes t ~obj =
+  let ms = manager_for t obj in
+  Hashtbl.length ms.m_state * ms.m_size
+
+let export_copy t ~src_node ~src_obj ~dst_node ~dst_obj =
+  let vm = t.vms.(src_node) in
+  let src_task = Vm.create_task vm in
+  let size =
+    match Vm.find_object vm src_obj with
+    | Some o -> o.Asvm_machvm.Vm_object.size_pages
+    | None -> failwith "Xmm.export_copy: unknown source object"
+  in
+  ignore
+    (Vm.map vm ~task:src_task ~obj:src_obj ~start:0 ~npages:size ~obj_offset:0
+       ~inherit_:Asvm_machvm.Address_map.Inherit_none);
+  Hashtbl.replace t.exports dst_obj
+    { e_src_node = src_node; e_src_task = src_task };
+  let manager =
+    {
+      Emmi.m_data_request =
+        (fun ~page ~desired:_ ->
+          send t ~src:dst_node ~dst_node:src_node
+            (Fork_request { dst_node; dst_obj; page }));
+      m_data_unlock = (fun ~page:_ ~desired:_ -> ());
+      m_data_return = (fun ~page:_ ~contents:_ ~dirty:_ -> ());
+    }
+  in
+  Vm.set_manager t.vms.(dst_node) dst_obj (Some manager)
+
+let stalled_fork_requests t =
+  Array.fold_left (fun acc p -> acc + Queue.length p.waiting) 0 t.pools

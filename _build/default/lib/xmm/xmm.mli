@@ -1,0 +1,81 @@
+(** XMM — the eXtended Memory Manager of the NMK13 NORMA kernel.
+
+    This is the paper's baseline. Characteristics reproduced faithfully:
+
+    - {b Centralized manager}: every memory object has one manager node
+      holding all coherency state and interposing on every remote fault.
+    - {b Dense state}: the manager keeps one byte per page {e per node}
+      of non-pageable memory ([state_bytes] exposes the footprint the
+      paper criticizes).
+    - {b XMMI over NORMA-IPC}: every protocol step is a heavyweight
+      NORMA message; a write-access transfer takes five messages, two
+      carrying page contents.
+    - {b Clean-at-pager}: before a request is forwarded, a coherent
+      version of the page is created at the pager; the first time a
+      dirty page is requested by another node it is written to the
+      paging space — a disk write in the fault path (Table 1's 38 ms
+      rows).
+    - {b No internode paging}: evicted dirty pages always go back to the
+      pager's disk.
+    - {b Remote fork via internal pagers}: each inherited memory object
+      is re-exported by an internal pager on the source node; faults on
+      the child cross one full NORMA round trip per copy-chain hop, and
+      each in-flight request occupies a pager thread from a bounded pool
+      (the deadlock hazard of paper section 3.1). *)
+
+module Vm = Asvm_machvm.Vm
+module Prot = Asvm_machvm.Prot
+
+type t
+
+(** [create ~net ~config ~vms ~words_per_page] builds the XMM subsystem
+    for a cluster whose node [i] runs [vms.(i)]. [fork_threads] bounds
+    each node's internal-pager thread pool. *)
+val create :
+  net:Asvm_mesh.Network.t ->
+  ipc_config:Asvm_norma.Ipc.config ->
+  vms:Vm.t array ->
+  words_per_page:int ->
+  fork_threads:int ->
+  t
+
+val ipc_messages : t -> int
+
+(** {1 Shared memory objects} *)
+
+(** Register a shared object: representations must already exist on all
+    [sharers]' VMs. The manager runs on [manager_node] (co-located with
+    the object's pager). Returns the [Emmi.manager] proxy for each
+    sharer, and installs it on the VMs. *)
+val register_shared_object :
+  t ->
+  obj:Asvm_machvm.Ids.obj_id ->
+  size_pages:int ->
+  manager_node:int ->
+  pager:Asvm_pager.Store_pager.t ->
+  sharers:int list ->
+  unit
+
+(** Non-pageable manager memory consumed by one object's page-state
+    matrix, in bytes (pages x nodes) — the paper's "limited memory
+    requirements" critique. *)
+val state_bytes : t -> obj:Asvm_machvm.Ids.obj_id -> int
+
+(** {1 Remote fork (delayed copy via internal pagers)} *)
+
+(** [export_copy t ~src_node ~src_obj ~dst_node ~dst_obj] wires [dst_obj]
+    (already created on [dst_node]'s VM) to an internal pager on
+    [src_node] that satisfies faults by faulting on [src_obj] locally.
+    [src_obj] is the local copy made on the source at fork time. *)
+val export_copy :
+  t ->
+  src_node:int ->
+  src_obj:Asvm_machvm.Ids.obj_id ->
+  dst_node:int ->
+  dst_obj:Asvm_machvm.Ids.obj_id ->
+  unit
+
+(** Outstanding internal-pager requests that could not get a thread —
+    nonzero after the engine drains means the copy-chain deadlock of
+    paper section 3.1 has occurred. *)
+val stalled_fork_requests : t -> int

@@ -1,0 +1,1 @@
+test/test_cluster.ml: Alcotest Array Asvm_cluster Asvm_core Asvm_machvm Asvm_simcore Asvm_xmm Fun List Option Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Asvm_cluster Asvm_machvm Asvm_workloads Fun List Printf

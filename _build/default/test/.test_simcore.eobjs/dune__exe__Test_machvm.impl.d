@@ -1,0 +1,1 @@
+test/test_machvm.ml: Alcotest Asvm_machvm Asvm_simcore List Printf

@@ -1,0 +1,1 @@
+test/test_mesh.ml: Alcotest Asvm_mesh Asvm_simcore QCheck QCheck_alcotest

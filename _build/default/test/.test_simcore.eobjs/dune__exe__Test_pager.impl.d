@@ -1,0 +1,1 @@
+test/test_pager.ml: Alcotest Asvm_cluster Asvm_machvm Asvm_pager Asvm_simcore List Printf

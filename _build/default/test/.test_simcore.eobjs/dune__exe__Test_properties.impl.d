@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Array Asvm_cluster Asvm_core Asvm_machvm Asvm_simcore Asvm_sts Asvm_workloads Fun List Printf QCheck QCheck_alcotest

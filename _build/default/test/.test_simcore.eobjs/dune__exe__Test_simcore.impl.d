@@ -1,0 +1,1 @@
+test/test_simcore.ml: Alcotest Array Asvm_simcore Gen List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_transports.ml: Alcotest Asvm_mesh Asvm_norma Asvm_simcore Asvm_sts List

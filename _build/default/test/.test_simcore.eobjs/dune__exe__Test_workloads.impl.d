@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Asvm_cluster Asvm_core Asvm_machvm Asvm_workloads Printf String

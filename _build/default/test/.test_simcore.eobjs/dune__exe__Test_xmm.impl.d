@@ -1,0 +1,1 @@
+test/test_xmm.ml: Alcotest Array Asvm_cluster Asvm_machvm Asvm_pager Asvm_simcore Asvm_xmm Fun List Printf

@@ -1,0 +1,163 @@
+(* Tests for the paper's section 6 proposals, implemented as extensions:
+   range locking and striped files with round-robin pagers. *)
+
+module Cluster = Asvm_cluster.Cluster
+module Config = Asvm_cluster.Config
+module Prot = Asvm_machvm.Prot
+module Address_map = Asvm_machvm.Address_map
+module File_io = Asvm_workloads.File_io
+
+let wpp = Asvm_machvm.Vm_config.default.words_per_page
+
+let make ?(nodes = 4) () = Cluster.create (Config.default ~nodes)
+
+let setup_shared cl ~nodes ~pages =
+  let sharers = List.init nodes Fun.id in
+  let obj = Cluster.create_shared_object cl ~size_pages:pages ~sharers () in
+  let tasks =
+    Array.of_list
+      (List.map
+         (fun node ->
+           let task = Cluster.create_task cl ~node in
+           Cluster.map cl ~task ~obj ~start:0 ~npages:pages
+             ~inherit_:Address_map.Inherit_share;
+           task)
+         sharers)
+  in
+  (obj, tasks)
+
+let wr cl task addr value =
+  Cluster.write_word cl ~task ~addr ~value (fun () -> ());
+  Cluster.run cl
+
+let rd cl task addr =
+  let r = ref 0 in
+  Cluster.read_word cl ~task ~addr (fun v -> r := v);
+  Cluster.run cl;
+  !r
+
+(* -------------------- range locking -------------------- *)
+
+let test_lock_blocks_remote_access () =
+  let cl = make () in
+  let _obj, tasks = setup_shared cl ~nodes:4 ~pages:4 in
+  (* node 0 locks pages 0-1 *)
+  let locked = ref false in
+  Cluster.lock_range cl ~task:tasks.(0) ~start:0 ~npages:2 (fun () ->
+      locked := true);
+  Cluster.run cl;
+  Alcotest.(check bool) "lock acquired" true !locked;
+  (* node 1's write against the locked range parks at the owner *)
+  let remote_done = ref false in
+  Cluster.write_word cl ~task:tasks.(1) ~addr:0 ~value:5 (fun () ->
+      remote_done := true);
+  Cluster.run cl;
+  Alcotest.(check bool) "remote write held while locked" false !remote_done;
+  (* node 0 performs its atomic update, then unlocks *)
+  wr cl tasks.(0) 1 100;
+  Cluster.unlock_range cl ~task:tasks.(0) ~start:0 ~npages:2;
+  Cluster.run cl;
+  Alcotest.(check bool) "remote write proceeds after unlock" true !remote_done;
+  Alcotest.(check int) "remote value landed" 5 (rd cl tasks.(2) 0);
+  Alcotest.(check int) "atomic update visible" 100 (rd cl tasks.(2) 1)
+
+let test_lock_excludes_readers_too () =
+  let cl = make () in
+  let _obj, tasks = setup_shared cl ~nodes:3 ~pages:2 in
+  wr cl tasks.(0) 0 1;
+  let locked = ref false in
+  Cluster.lock_range cl ~task:tasks.(0) ~start:0 ~npages:1 (fun () ->
+      locked := true);
+  Cluster.run cl;
+  Alcotest.(check bool) "locked" true !locked;
+  let read_done = ref None in
+  Cluster.read_word cl ~task:tasks.(1) ~addr:0 (fun v -> read_done := Some v);
+  Cluster.run cl;
+  Alcotest.(check bool) "reader held while locked" true (!read_done = None);
+  wr cl tasks.(0) 0 2;
+  Cluster.unlock_range cl ~task:tasks.(0) ~start:0 ~npages:1;
+  Cluster.run cl;
+  Alcotest.(check (option int)) "reader sees post-lock value" (Some 2) !read_done
+
+let test_lock_reacquire_after_migration () =
+  (* the lock can be taken by different nodes in turn *)
+  let cl = make () in
+  let _obj, tasks = setup_shared cl ~nodes:3 ~pages:2 in
+  let with_lock node k =
+    Cluster.lock_range cl ~task:tasks.(node) ~start:0 ~npages:2 (fun () ->
+        k ();
+        Cluster.unlock_range cl ~task:tasks.(node) ~start:0 ~npages:2);
+    Cluster.run cl
+  in
+  with_lock 0 (fun () -> ());
+  with_lock 1 (fun () -> ());
+  with_lock 2 (fun () -> ());
+  wr cl tasks.(1) 0 9;
+  Alcotest.(check int) "still coherent" 9 (rd cl tasks.(0) 0)
+
+(* -------------------- striped files -------------------- *)
+
+let test_striped_file_contents () =
+  let cl = make () in
+  let obj =
+    Cluster.create_file_object cl ~size_pages:8 ~sharers:[ 0; 1; 2; 3 ]
+      ~data:(fun addr -> 5000 + addr)
+      ~stripes:4 ()
+  in
+  Alcotest.(check int) "four pagers" 4 (List.length (Cluster.object_pagers cl obj));
+  let task = Cluster.create_task cl ~node:3 in
+  Cluster.map cl ~task ~obj ~start:0 ~npages:8
+    ~inherit_:Address_map.Inherit_share;
+  (* every page comes back correct regardless of which stripe holds it *)
+  for p = 0 to 7 do
+    Alcotest.(check int)
+      (Printf.sprintf "page %d word" p)
+      (5000 + (p * wpp))
+      (rd cl task (p * wpp))
+  done;
+  (* writes are preserved too *)
+  wr cl task (5 * wpp) 42;
+  Alcotest.(check int) "write visible" 42 (rd cl task (5 * wpp))
+
+let test_striping_scales_write_bandwidth () =
+  (* the paper's motivation: one pager is the write ceiling; striping
+     over several I/O nodes raises the aggregate rate *)
+  let rate stripes =
+    (File_io.write_test ~mm:Config.Mm_asvm ~nodes:8 ~file_mb:2 ~stripes ())
+      .File_io.per_node_mb_s
+  in
+  let r1 = rate 1 and r4 = rate 4 in
+  Alcotest.(check bool)
+    (Printf.sprintf "4 stripes beat 1 (%.2f vs %.2f MB/s)" r4 r1)
+    true
+    (r4 > 1.5 *. r1)
+
+let test_striping_xmm_unsupported () =
+  let cl = Cluster.create (Config.with_mm (Config.default ~nodes:2) Config.Mm_xmm) in
+  Alcotest.check_raises "XMM rejects striping"
+    (Failure "Cluster: XMM supports a single pager per object") (fun () ->
+      ignore
+        (Cluster.create_file_object cl ~size_pages:4 ~sharers:[ 0; 1 ]
+           ~stripes:2 ()))
+
+let () =
+  Alcotest.run "extensions"
+    [
+      ( "range locking",
+        [
+          Alcotest.test_case "blocks remote writers" `Quick
+            test_lock_blocks_remote_access;
+          Alcotest.test_case "blocks remote readers" `Quick
+            test_lock_excludes_readers_too;
+          Alcotest.test_case "reacquire in turn" `Quick
+            test_lock_reacquire_after_migration;
+        ] );
+      ( "striped files",
+        [
+          Alcotest.test_case "contents round-robin" `Quick
+            test_striped_file_contents;
+          Alcotest.test_case "write bandwidth scales" `Quick
+            test_striping_scales_write_bandwidth;
+          Alcotest.test_case "xmm unsupported" `Quick test_striping_xmm_unsupported;
+        ] );
+    ]

@@ -1,0 +1,111 @@
+(* Tests for the mesh topology and network model. *)
+
+module Engine = Asvm_simcore.Engine
+module Topology = Asvm_mesh.Topology
+module Network = Asvm_mesh.Network
+
+let test_topology_shapes () =
+  let t = Topology.create ~nodes:16 in
+  Alcotest.(check int) "width" 4 (Topology.width t);
+  Alcotest.(check int) "height" 4 (Topology.height t);
+  let t = Topology.create ~nodes:72 in
+  (* the measurement machine of the paper: 72 GP nodes, 9x8 mesh *)
+  Alcotest.(check int) "width 72" 9 (Topology.width t);
+  Alcotest.(check int) "height 72" 8 (Topology.height t);
+  let t = Topology.create ~nodes:1 in
+  Alcotest.(check int) "single node diameter" 0 (Topology.diameter t)
+
+let test_coords_roundtrip =
+  QCheck.Test.make ~name:"coords/node_at roundtrip" ~count:200
+    QCheck.(pair (int_range 1 100) (int_range 0 99))
+    (fun (nodes, node) ->
+      QCheck.assume (node < nodes);
+      let t = Topology.create ~nodes in
+      let x, y = Topology.coords t node in
+      Topology.node_at t ~x ~y = node)
+
+let test_hops_metric =
+  QCheck.Test.make ~name:"hop count is a metric" ~count:200
+    QCheck.(triple (int_range 2 80) (int_range 0 79) (int_range 0 79))
+    (fun (nodes, a, b) ->
+      QCheck.assume (a < nodes && b < nodes);
+      let t = Topology.create ~nodes in
+      Topology.hops t a b = Topology.hops t b a
+      && Topology.hops t a a = 0
+      && (a = b || Topology.hops t a b > 0))
+
+let test_hops_example () =
+  let t = Topology.create ~nodes:16 in
+  (* node 0 = (0,0), node 15 = (3,3) *)
+  Alcotest.(check int) "corner to corner" 6 (Topology.hops t 0 15);
+  Alcotest.(check int) "adjacent" 1 (Topology.hops t 0 1);
+  Alcotest.(check int) "diameter" 6 (Topology.diameter t)
+
+let make_net ?(nodes = 4) () =
+  let e = Engine.create () in
+  let topo = Topology.create ~nodes in
+  let net = Network.create e Network.paragon_config topo in
+  (e, net)
+
+let test_delivery_time () =
+  let e, net = make_net () in
+  let arrived = ref 0. in
+  Network.send net ~src:0 ~dst:3 ~bytes:8192 ~sw_send:0.1 ~sw_recv:0.1
+    (fun () -> arrived := Engine.now e);
+  Engine.run e;
+  let wire = Network.wire_latency net ~src:0 ~dst:3 ~bytes:8192 in
+  Alcotest.(check (float 1e-9)) "sw + wire + sw" (0.2 +. wire) !arrived;
+  Alcotest.(check int) "message counted" 1 (Network.messages net);
+  Alcotest.(check int) "bytes counted" 8192 (Network.bytes_sent net)
+
+let test_loopback_free_wire () =
+  let _, net = make_net () in
+  Alcotest.(check (float 1e-9))
+    "loopback has no wire latency" 0.
+    (Network.wire_latency net ~src:2 ~dst:2 ~bytes:8192)
+
+let test_receiver_serializes () =
+  (* Two messages from different senders to one receiver: the second is
+     delayed by the receiver's software path — the effect that makes a
+     centralized manager a bottleneck. *)
+  let e, net = make_net () in
+  let t1 = ref 0. and t2 = ref 0. in
+  Network.send net ~src:1 ~dst:0 ~bytes:32 ~sw_send:0.0 ~sw_recv:1.0 (fun () ->
+      t1 := Engine.now e);
+  Network.send net ~src:2 ~dst:0 ~bytes:32 ~sw_send:0.0 ~sw_recv:1.0 (fun () ->
+      t2 := Engine.now e);
+  Engine.run e;
+  Alcotest.(check bool) "second queues behind first" true (!t2 -. !t1 >= 1.0)
+
+let test_wire_monotone_in_hops =
+  QCheck.Test.make ~name:"wire latency grows with hop count" ~count:100
+    QCheck.(triple (int_range 4 64) (int_range 0 63) (int_range 0 63))
+    (fun (nodes, a, b) ->
+      QCheck.assume (a < nodes && b < nodes && a <> b);
+      let t = Topology.create ~nodes in
+      let e = Engine.create () in
+      let net = Network.create e Network.paragon_config t in
+      let la = Network.wire_latency net ~src:a ~dst:b ~bytes:32 in
+      let lb = Network.wire_latency net ~src:a ~dst:b ~bytes:8192 in
+      la < lb)
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "mesh"
+    [
+      ( "topology",
+        [
+          Alcotest.test_case "shapes" `Quick test_topology_shapes;
+          qtest test_coords_roundtrip;
+          qtest test_hops_metric;
+          Alcotest.test_case "hop examples" `Quick test_hops_example;
+        ] );
+      ( "network",
+        [
+          Alcotest.test_case "delivery time" `Quick test_delivery_time;
+          Alcotest.test_case "loopback" `Quick test_loopback_free_wire;
+          Alcotest.test_case "receiver serializes" `Quick test_receiver_serializes;
+          qtest test_wire_monotone_in_hops;
+        ] );
+    ]

@@ -1,0 +1,151 @@
+(* Tests for the disk model and the user-level store pager. *)
+
+module Engine = Asvm_simcore.Engine
+module Disk = Asvm_pager.Disk
+module Store_pager = Asvm_pager.Store_pager
+module Contents = Asvm_machvm.Contents
+module Cluster = Asvm_cluster.Cluster
+module Config = Asvm_cluster.Config
+
+let wpp = 4
+
+let make () =
+  let engine = Engine.create () in
+  let disk = Disk.create engine Disk.default_config in
+  let pager = Store_pager.create engine ~node:0 ~disk Store_pager.default_config in
+  (engine, disk, pager)
+
+let test_disk_serializes () =
+  let engine = Engine.create () in
+  let disk = Disk.create engine { Disk.seek_ms = 10.; transfer_ms_per_page = 2. } in
+  let t1 = ref 0. and t2 = ref 0. in
+  Disk.write disk (fun () -> t1 := Engine.now engine);
+  Disk.write disk (fun () -> t2 := Engine.now engine);
+  Engine.run engine;
+  Alcotest.(check (float 1e-9)) "first op" 12. !t1;
+  Alcotest.(check (float 1e-9)) "second queues behind" 24. !t2;
+  Alcotest.(check int) "write count" 2 (Disk.writes disk)
+
+let test_pager_zero_fill_for_unknown () =
+  let engine, _disk, pager = make () in
+  let got = ref None in
+  Store_pager.request pager ~obj:1 ~page:0 ~words:wpp (fun c -> got := Some c);
+  Engine.run engine;
+  match !got with
+  | Some c -> Alcotest.(check bool) "zeros" true (Contents.is_zero c)
+  | None -> Alcotest.fail "no supply"
+
+let test_pager_file_read_once () =
+  (* a preloaded (disk-resident) page pays the media read exactly once *)
+  let engine, _disk, pager = make () in
+  let c = Contents.zero ~words:wpp in
+  Contents.set c 0 7;
+  Store_pager.preload pager ~obj:1 ~page:0 c;
+  let t1 = ref 0. and t2 = ref 0. in
+  Store_pager.request pager ~obj:1 ~page:0 ~words:wpp (fun _ ->
+      t1 := Engine.now engine;
+      Store_pager.request pager ~obj:1 ~page:0 ~words:wpp (fun _ ->
+          t2 := Engine.now engine));
+  Engine.run engine;
+  let cfg = Store_pager.default_config in
+  Alcotest.(check (float 1e-6)) "cold supply pays media read"
+    (cfg.Store_pager.supply_ms +. cfg.Store_pager.file_read_ms)
+    !t1;
+  Alcotest.(check (float 1e-6)) "warm supply is service only"
+    (!t1 +. cfg.Store_pager.supply_ms)
+    !t2
+
+let test_pager_clean_hits_disk () =
+  let engine, disk, pager = make () in
+  let c = Contents.zero ~words:wpp in
+  Contents.set c 1 9;
+  let done_at = ref 0. in
+  Store_pager.clean pager ~obj:2 ~page:3 ~contents:c (fun () ->
+      done_at := Engine.now engine);
+  Engine.run engine;
+  Alcotest.(check int) "one disk write" 1 (Disk.writes disk);
+  Alcotest.(check bool) "took disk time" true (!done_at > 20.);
+  (* the cleaned copy is remembered and supplied from memory *)
+  let got = ref None in
+  Store_pager.request pager ~obj:2 ~page:3 ~words:wpp (fun v -> got := Some v);
+  Engine.run engine;
+  (match !got with
+  | Some v -> Alcotest.(check int) "contents preserved" 9 (Contents.get v 1)
+  | None -> Alcotest.fail "no supply");
+  Alcotest.(check int) "no disk read for cached page" 0 (Disk.reads disk)
+
+let test_backing_roundtrip () =
+  let engine, _disk, pager = make () in
+  let b = Store_pager.as_backing pager in
+  let c = Contents.zero ~words:wpp in
+  Contents.set c 2 42;
+  let fetched = ref None in
+  b.Asvm_machvm.Backing.store ~obj:5 ~page:1 ~contents:c ~k:(fun () ->
+      b.Asvm_machvm.Backing.fetch ~obj:5 ~page:1 ~k:(fun r -> fetched := r));
+  Engine.run engine;
+  match !fetched with
+  | Some v -> Alcotest.(check int) "roundtrip" 42 (Contents.get v 2)
+  | None -> Alcotest.fail "backing lost the page"
+
+let test_pager_station_is_the_ceiling () =
+  (* concurrent requests serialize at the pager's station: the Table 2
+     saturation mechanism *)
+  let engine, _disk, pager = make () in
+  let completions = ref [] in
+  for i = 0 to 9 do
+    Store_pager.request pager ~obj:1 ~page:i ~words:wpp (fun _ ->
+        completions := Engine.now engine :: !completions)
+  done;
+  Engine.run engine;
+  let times = List.rev !completions in
+  let cfg = Store_pager.default_config in
+  List.iteri
+    (fun i t ->
+      Alcotest.(check (float 1e-6))
+        (Printf.sprintf "supply %d" i)
+        (float_of_int (i + 1) *. cfg.Store_pager.supply_ms)
+        t)
+    times
+
+(* barrier semantics at the cluster level *)
+let test_barrier () =
+  let cl = Cluster.create (Config.default ~nodes:4) in
+  let b = Cluster.Barrier.create cl ~parties:3 in
+  let released = ref [] in
+  let engine = Cluster.engine cl in
+  Engine.schedule engine ~delay:1. (fun () ->
+      Cluster.Barrier.arrive b (fun () -> released := (0, Engine.now engine) :: !released));
+  Engine.schedule engine ~delay:5. (fun () ->
+      Cluster.Barrier.arrive b (fun () -> released := (1, Engine.now engine) :: !released));
+  Engine.schedule engine ~delay:2. (fun () ->
+      Cluster.Barrier.arrive b (fun () -> released := (2, Engine.now engine) :: !released));
+  Cluster.run cl;
+  Alcotest.(check int) "all released" 3 (List.length !released);
+  List.iter
+    (fun (_, t) ->
+      Alcotest.(check bool) "released after last arrival" true (t >= 5.))
+    !released;
+  (* the barrier resets for reuse *)
+  let again = ref 0 in
+  for _ = 1 to 3 do
+    Cluster.Barrier.arrive b (fun () -> incr again)
+  done;
+  Cluster.run cl;
+  Alcotest.(check int) "reusable" 3 !again
+
+let () =
+  Alcotest.run "pager"
+    [
+      ( "disk",
+        [ Alcotest.test_case "serializes" `Quick test_disk_serializes ] );
+      ( "store pager",
+        [
+          Alcotest.test_case "zero fill" `Quick test_pager_zero_fill_for_unknown;
+          Alcotest.test_case "file read once" `Quick test_pager_file_read_once;
+          Alcotest.test_case "clean hits disk" `Quick test_pager_clean_hits_disk;
+          Alcotest.test_case "backing roundtrip" `Quick test_backing_roundtrip;
+          Alcotest.test_case "station ceiling" `Quick
+            test_pager_station_is_the_ceiling;
+        ] );
+      ("barrier", [ Alcotest.test_case "release and reuse" `Quick test_barrier ]);
+    ]

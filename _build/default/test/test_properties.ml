@@ -1,0 +1,379 @@
+(* Property-based tests of the core data structures and of fork/copy
+   semantics against reference models. *)
+
+module Engine = Asvm_simcore.Engine
+module Cluster = Asvm_cluster.Cluster
+module Config = Asvm_cluster.Config
+module Prot = Asvm_machvm.Prot
+module Address_map = Asvm_machvm.Address_map
+module Hint_cache = Asvm_core.Hint_cache
+
+let wpp = Asvm_machvm.Vm_config.default.words_per_page
+
+(* ----------------------- hint cache ----------------------- *)
+
+let hint_cache_capacity =
+  QCheck.Test.make ~name:"hint cache never exceeds capacity" ~count:200
+    QCheck.(pair (int_bound 16) (small_list (int_bound 100)))
+    (fun (capacity, pages) ->
+      let c = Hint_cache.create ~capacity in
+      List.iter (fun page -> Hint_cache.put c ~page page) pages;
+      Hint_cache.size c <= max capacity 0)
+
+let hint_cache_lru =
+  QCheck.Test.make ~name:"recently used hints survive eviction" ~count:200
+    QCheck.(small_list (int_bound 50))
+    (fun pages ->
+      let c = Hint_cache.create ~capacity:4 in
+      List.iter (fun page -> Hint_cache.put c ~page page) pages;
+      (* touch page 1000, then insert 3 more: 1000 must survive *)
+      Hint_cache.put c ~page:1000 1;
+      ignore (Hint_cache.find c ~page:1000);
+      List.iter (fun p -> Hint_cache.put c ~page:(2000 + p) p) [ 1; 2; 3 ];
+      ignore (Hint_cache.find c ~page:1000);
+      Hint_cache.find c ~page:1000 <> None)
+
+let hint_cache_zero =
+  QCheck.Test.make ~name:"zero-capacity cache always misses" ~count:50
+    QCheck.(small_list (int_bound 20))
+    (fun pages ->
+      let c = Hint_cache.create ~capacity:0 in
+      List.iter (fun page -> Hint_cache.put c ~page page) pages;
+      List.for_all (fun page -> Hint_cache.find c ~page = None) pages)
+
+(* ----------------------- address map ----------------------- *)
+
+let address_map_lookup =
+  QCheck.Test.make ~name:"address map: lookup finds the covering entry"
+    ~count:200
+    QCheck.(small_list (pair (int_bound 100) (int_range 1 10)))
+    (fun ranges ->
+      let m = Address_map.create () in
+      let entered =
+        List.filter_map
+          (fun (start, npages) ->
+            match Address_map.map m ~start ~npages ~obj:1 ~obj_offset:0
+                    ~inherit_:Address_map.Inherit_none
+            with
+            | _ -> Some (start, npages)
+            | exception Invalid_argument _ -> None)
+          ranges
+      in
+      List.for_all
+        (fun (start, npages) ->
+          List.for_all
+            (fun off ->
+              match Address_map.lookup m ~vpage:(start + off) with
+              | Some e ->
+                e.Address_map.start <= start + off
+                && start + off < e.Address_map.start + e.Address_map.npages
+              | None -> false)
+            (List.init npages Fun.id))
+        entered)
+
+let address_map_no_overlap =
+  QCheck.Test.make ~name:"address map rejects overlapping ranges" ~count:200
+    QCheck.(pair (int_bound 50) (int_bound 50))
+    (fun (a, b) ->
+      let m = Address_map.create () in
+      ignore
+        (Address_map.map m ~start:a ~npages:10 ~obj:1 ~obj_offset:0
+           ~inherit_:Address_map.Inherit_none);
+      let overlaps = b < a + 10 && a < b + 10 in
+      match
+        Address_map.map m ~start:b ~npages:10 ~obj:2 ~obj_offset:0
+          ~inherit_:Address_map.Inherit_none
+      with
+      | _ -> not overlaps
+      | exception Invalid_argument _ -> overlaps)
+
+let find_space_is_free =
+  QCheck.Test.make ~name:"find_space returns a mappable range" ~count:200
+    QCheck.(pair (small_list (int_bound 60)) (int_range 1 8))
+    (fun (starts, npages) ->
+      let m = Address_map.create () in
+      List.iter
+        (fun start ->
+          try
+            ignore
+              (Address_map.map m ~start ~npages:4 ~obj:1 ~obj_offset:0
+                 ~inherit_:Address_map.Inherit_none)
+          with Invalid_argument _ -> ())
+        starts;
+      let start = Address_map.find_space m ~hint:0 ~npages in
+      match
+        Address_map.map m ~start ~npages ~obj:9 ~obj_offset:0
+          ~inherit_:Address_map.Inherit_none
+      with
+      | _ -> true
+      | exception Invalid_argument _ -> false)
+
+(* ----------------------- fork semantics ----------------------- *)
+
+(* Reference model: each generation's view is a full array snapshot.
+   Random interleavings of writes (at any generation) and forks (from
+   any generation to a random node) must match it exactly. *)
+type op = Write of int * int * int | Fork of int * int | Read of int * int
+
+let fork_semantics mm =
+  let name =
+    Printf.sprintf "%s fork chains match the snapshot reference"
+      (Config.mm_name mm)
+  in
+  QCheck.Test.make ~name ~count:15
+    QCheck.(
+      small_list
+        (triple (int_bound 2) (int_bound 5) (pair (int_bound 3) (int_bound 50))))
+    (fun raw_ops ->
+      let nodes = 4 in
+      let pages = 3 in
+      let words = pages * wpp in
+      let cl = Cluster.create (Config.with_mm (Config.default ~nodes) mm) in
+      let t0 = Cluster.create_task cl ~node:0 in
+      let obj = Cluster.create_private_object cl ~node:0 ~size_pages:pages in
+      Cluster.map cl ~task:t0 ~obj ~start:0 ~npages:pages
+        ~inherit_:Address_map.Inherit_copy;
+      let tasks = ref [| t0 |] in
+      let refs = ref [| Array.make words 0 |] in
+      let value = ref 0 in
+      let sync_write task addr v =
+        let ok = ref false in
+        Cluster.write_word cl ~task ~addr ~value:v (fun () -> ok := true);
+        Cluster.run cl;
+        !ok
+      in
+      let sync_read task addr =
+        let r = ref None in
+        Cluster.read_word cl ~task ~addr (fun v -> r := Some v);
+        Cluster.run cl;
+        !r
+      in
+      let ops =
+        List.map
+          (fun (kind, gen_pick, (node, addr_pick)) ->
+            match kind with
+            | 0 -> Write (gen_pick, addr_pick mod words, 0)
+            | 1 -> Fork (gen_pick, node)
+            | _ -> Read (gen_pick, addr_pick mod words))
+          raw_ops
+      in
+      List.for_all
+        (fun op ->
+          let gens = Array.length !tasks in
+          match op with
+          | Write (g, addr, _) ->
+            let g = g mod gens in
+            incr value;
+            !refs.(g).(addr) <- !value;
+            sync_write !tasks.(g) addr !value
+          | Fork (g, node) ->
+            let g = g mod gens in
+            let child = ref None in
+            Cluster.fork cl ~task:!tasks.(g) ~dst_node:node (fun c ->
+                child := Some c);
+            Cluster.run cl;
+            (match !child with
+            | Some c ->
+              tasks := Array.append !tasks [| c |];
+              refs := Array.append !refs [| Array.copy !refs.(g) |];
+              true
+            | None -> false)
+          | Read (g, addr) ->
+            let g = g mod gens in
+            sync_read !tasks.(g) addr = Some !refs.(g).(addr))
+        ops)
+
+(* ----------------------- single-node VM model ----------------------- *)
+
+(* Random sequences of writes, reads, local copies (fork-style) and
+   forced evictions on one kernel, checked against per-generation
+   snapshot arrays. Exercises symmetric/asymmetric chains interleaved
+   with paging. *)
+let vm_local_semantics =
+  QCheck.Test.make ~name:"single-node VM matches snapshot reference" ~count:40
+    QCheck.(small_list (triple (int_bound 3) (int_bound 31) (int_bound 2)))
+    (fun raw_ops ->
+      let module M = Asvm_machvm in
+      let module Vm = M.Vm in
+      let engine = Asvm_simcore.Engine.create () in
+      let wpp = 4 in
+      let config =
+        { M.Vm_config.default with words_per_page = wpp; memory_pages = 6 }
+      in
+      let ids = M.Ids.Alloc.create () in
+      let vm =
+        Vm.create ~engine ~node:0 ~config ~backing:(M.Backing.in_memory ()) ~ids
+      in
+      let pages = 8 in
+      let words = pages * wpp in
+      let task0 = Vm.create_task vm in
+      let obj0 =
+        Vm.create_object vm ~id:(M.Ids.Alloc.fresh ids) ~size_pages:pages
+          ~temporary:true
+      in
+      ignore
+        (Vm.map vm ~task:task0 ~obj:obj0.M.Vm_object.id ~start:0 ~npages:pages
+           ~obj_offset:0 ~inherit_:M.Address_map.Inherit_copy);
+      let tasks = ref [| task0 |] in
+      let objs = ref [| obj0.M.Vm_object.id |] in
+      let refs = ref [| Array.make words 0 |] in
+      let stamp = ref 0 in
+      let sync_write task addr v =
+        let ok = ref false in
+        Vm.write_word vm ~task ~addr ~value:v (fun () -> ok := true);
+        Asvm_simcore.Engine.run engine;
+        !ok
+      in
+      let sync_read task addr =
+        let r = ref None in
+        Vm.read_word vm ~task ~addr (fun v -> r := Some v);
+        Asvm_simcore.Engine.run engine;
+        !r
+      in
+      List.for_all
+        (fun (kind, addr_pick, gen_pick) ->
+          let gens = Array.length !tasks in
+          let g = gen_pick mod gens in
+          let addr = addr_pick mod words in
+          match kind with
+          | 0 ->
+            incr stamp;
+            !refs.(g).(addr) <- !stamp;
+            sync_write !tasks.(g) addr !stamp
+          | 1 -> sync_read !tasks.(g) addr = Some !refs.(g).(addr)
+          | 2 ->
+            (* local fork of generation g via asymmetric copy *)
+            let c = Vm.make_asymmetric_copy vm ~src:!objs.(g) in
+            let child = Vm.create_task vm in
+            ignore
+              (Vm.map vm ~task:child ~obj:c.M.Vm_object.id ~start:0
+                 ~npages:pages ~obj_offset:0
+                 ~inherit_:M.Address_map.Inherit_copy);
+            tasks := Array.append !tasks [| child |];
+            objs := Array.append !objs [| c.M.Vm_object.id |];
+            refs := Array.append !refs [| Array.copy !refs.(g) |];
+            true
+          | _ ->
+            (* memory pressure: force an eviction if possible *)
+            ignore (Vm.evict_one vm);
+            Asvm_simcore.Engine.run engine;
+            true)
+        raw_ops)
+
+(* ----------------------- zero-size caches ----------------------- *)
+
+let test_zero_caches () =
+  (* with both hint caches of size 0, every request falls through to
+     global forwarding / the seen-bitmap paths — results must not change *)
+  let config = Config.default ~nodes:4 in
+  let config =
+    {
+      config with
+      asvm = { config.asvm with dynamic_cache_pages = 0; static_cache_pages = 0 };
+    }
+  in
+  let cl = Cluster.create config in
+  let obj =
+    Cluster.create_shared_object cl ~size_pages:4 ~sharers:[ 0; 1; 2; 3 ] ()
+  in
+  let task node =
+    let t = Cluster.create_task cl ~node in
+    Cluster.map cl ~task:t ~obj ~start:0 ~npages:4
+      ~inherit_:Address_map.Inherit_share;
+    t
+  in
+  let t0 = task 0 and t1 = task 1 and t2 = task 2 in
+  let wr t addr v =
+    Cluster.write_word cl ~task:t ~addr ~value:v (fun () -> ());
+    Cluster.run cl
+  in
+  let rd t addr =
+    let r = ref 0 in
+    Cluster.read_word cl ~task:t ~addr (fun v -> r := v);
+    Cluster.run cl;
+    !r
+  in
+  wr t0 0 5;
+  Alcotest.(check int) "read via sweeps" 5 (rd t1 0);
+  wr t2 0 6;
+  Alcotest.(check int) "write migrates via sweeps" 6 (rd t0 0);
+  wr t1 0 7;
+  Alcotest.(check int) "and again" 7 (rd t2 0)
+
+(* ----------------------- flow control under starvation -------------- *)
+
+let test_tiny_buffer_pool () =
+  (* with a single receive buffer per node, requests defer and retry;
+     the workload still completes with correct values *)
+  let config = Config.default ~nodes:4 in
+  let config =
+    {
+      config with
+      asvm =
+        {
+          config.asvm with
+          sts = { config.asvm.sts with Asvm_sts.Sts.page_buffers = 1 };
+        };
+    }
+  in
+  let cl = Cluster.create config in
+  let pages = 6 in
+  let obj =
+    Cluster.create_shared_object cl ~size_pages:pages ~sharers:[ 0; 1; 2; 3 ] ()
+  in
+  let tasks =
+    Array.init 4 (fun node ->
+        let t = Cluster.create_task cl ~node in
+        Cluster.map cl ~task:t ~obj ~start:0 ~npages:pages
+          ~inherit_:Address_map.Inherit_share;
+        t)
+  in
+  (* every node floods faults over all pages concurrently *)
+  let remaining = ref (4 * pages) in
+  Array.iter
+    (fun task ->
+      for p = 0 to pages - 1 do
+        Cluster.write_word cl ~task ~addr:(p * wpp) ~value:p (fun () ->
+            decr remaining)
+      done)
+    tasks;
+  Cluster.run cl;
+  Alcotest.(check int) "all writes completed despite starvation" 0 !remaining;
+  let a = match Cluster.backend cl with `Asvm a -> a | `Xmm _ -> assert false in
+  Alcotest.(check (list string)) "invariants clean" []
+    (Asvm_core.Asvm.check_invariants a)
+
+let test_em3d_deterministic () =
+  let run () =
+    let r =
+      Asvm_workloads.Em3d.run ~mm:Config.Mm_asvm
+        { cells = 8_000; nodes = 4; iterations = 3; seed = 99 }
+    in
+    (r.Asvm_workloads.Em3d.seconds, r.Asvm_workloads.Em3d.faults,
+     r.Asvm_workloads.Em3d.protocol_messages)
+  in
+  Alcotest.(check bool) "bit-identical reruns" true (run () = run ())
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "properties"
+    [
+      ( "hint cache",
+        [ qtest hint_cache_capacity; qtest hint_cache_lru; qtest hint_cache_zero ] );
+      ( "address map",
+        [
+          qtest address_map_lookup;
+          qtest address_map_no_overlap;
+          qtest find_space_is_free;
+        ] );
+      ( "fork semantics",
+        [ qtest (fork_semantics Config.Mm_asvm); qtest (fork_semantics Config.Mm_xmm) ] );
+      ("vm model", [ qtest vm_local_semantics ]);
+      ("forwarding", [ Alcotest.test_case "zero caches" `Quick test_zero_caches ]);
+      ( "robustness",
+        [
+          Alcotest.test_case "tiny buffer pool" `Quick test_tiny_buffer_pool;
+          Alcotest.test_case "em3d deterministic" `Quick test_em3d_deterministic;
+        ] );
+    ]

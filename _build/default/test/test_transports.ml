@@ -1,0 +1,138 @@
+(* Tests for NORMA-IPC and STS transports. *)
+
+module Engine = Asvm_simcore.Engine
+module Topology = Asvm_mesh.Topology
+module Network = Asvm_mesh.Network
+module Ipc = Asvm_norma.Ipc
+module Sts = Asvm_sts.Sts
+
+let make ?(nodes = 4) () =
+  let e = Engine.create () in
+  let topo = Topology.create ~nodes in
+  let net = Network.create e Network.paragon_config topo in
+  (e, net)
+
+(* ---------------- NORMA ---------------- *)
+
+let test_norma_delivery () =
+  let e, net = make () in
+  let ipc = Ipc.create net Ipc.default_config in
+  let got = ref None in
+  let p =
+    Ipc.port ipc ~node:2 ~handler:(fun _port msg ->
+        got := Some (msg, Engine.now e))
+  in
+  Alcotest.(check int) "port node" 2 (Ipc.port_node p);
+  Ipc.send ipc ~src:0 ~dst:p "hello";
+  Engine.run e;
+  (match !got with
+  | Some ("hello", t) ->
+    Alcotest.(check bool) "paid heavy software path" true (t > 1.0)
+  | _ -> Alcotest.fail "message not delivered");
+  Alcotest.(check int) "count" 1 (Ipc.messages ipc)
+
+let test_norma_page_slower () =
+  let e, net = make () in
+  let ipc = Ipc.create net Ipc.default_config in
+  let t_hdr = ref 0. and t_page = ref 0. in
+  let p1 = Ipc.port ipc ~node:1 ~handler:(fun _ () -> t_hdr := Engine.now e) in
+  let p2 = Ipc.port ipc ~node:2 ~handler:(fun _ () -> t_page := Engine.now e) in
+  Ipc.send ipc ~src:0 ~dst:p1 ();
+  Ipc.send ipc ~src:3 ~dst:p2 ~carries_page:true ();
+  Engine.run e;
+  Alcotest.(check bool) "page message costs more" true (!t_page > !t_hdr);
+  Alcotest.(check int) "page message counted" 1 (Ipc.page_messages ipc)
+
+let test_norma_rights_cost () =
+  let e, net = make () in
+  let ipc = Ipc.create net Ipc.default_config in
+  let t1 = ref 0. and t5 = ref 0. in
+  let p1 = Ipc.port ipc ~node:1 ~handler:(fun _ () -> t1 := Engine.now e) in
+  let p2 = Ipc.port ipc ~node:2 ~handler:(fun _ () -> t5 := Engine.now e) in
+  Ipc.send ipc ~src:0 ~dst:p1 ~rights:1 ();
+  Ipc.send ipc ~src:3 ~dst:p2 ~rights:5 ();
+  Engine.run e;
+  Alcotest.(check bool) "port rights cost" true (!t5 > !t1)
+
+(* ---------------- STS ---------------- *)
+
+let test_sts_delivery_and_economy () =
+  let e, net = make () in
+  let sts = Sts.create net Sts.default_config in
+  let ipc = Ipc.create net Ipc.default_config in
+  let t_sts = ref 0. in
+  Sts.register sts ~node:1 (fun () -> t_sts := Engine.now e);
+  Sts.send sts ~src:0 ~dst:1 ();
+  Engine.run e;
+  let t_norma = ref 0. in
+  let e2, net2 = make () in
+  ignore net;
+  let ipc2 = Ipc.create net2 Ipc.default_config in
+  ignore ipc;
+  let p = Ipc.port ipc2 ~node:1 ~handler:(fun _ () -> t_norma := Engine.now e2) in
+  Ipc.send ipc2 ~src:0 ~dst:p ();
+  Engine.run e2;
+  Alcotest.(check bool)
+    "STS is much cheaper than NORMA (paper: NORMA ~90% of fault latency)"
+    true
+    (!t_sts *. 2. < !t_norma)
+
+let test_sts_requires_handler () =
+  let _, net = make () in
+  let sts = Sts.create net Sts.default_config in
+  Alcotest.check_raises "no handler"
+    (Failure "Sts.send: no handler registered at destination") (fun () ->
+      Sts.send sts ~src:0 ~dst:3 ())
+
+let test_sts_flow_control () =
+  let e, net = make () in
+  let config = { Sts.default_config with page_buffers = 2 } in
+  let sts = Sts.create net config in
+  Sts.register sts ~node:1 ignore;
+  (* pages may only flow against a reserved receive buffer *)
+  Alcotest.check_raises "unreserved page send"
+    (Failure
+       "Sts.send: page sent without a reserved receive buffer (src=0 dst=1)")
+    (fun () -> Sts.send sts ~src:0 ~dst:1 ~carries_page:true ());
+  Alcotest.(check bool) "reserve 1" true (Sts.reserve_buffer sts ~node:1);
+  Alcotest.(check bool) "reserve 2" true (Sts.reserve_buffer sts ~node:1);
+  Alcotest.(check bool) "pool exhausted" false (Sts.reserve_buffer sts ~node:1);
+  Sts.send sts ~src:0 ~dst:1 ~carries_page:true ();
+  Sts.release_buffer sts ~node:1;
+  Alcotest.(check int) "one still reserved" 1 (Sts.buffers_reserved sts ~node:1);
+  Sts.release_buffer sts ~node:1;
+  Alcotest.check_raises "over-release" (Failure "Sts.release_buffer: pool underflow")
+    (fun () -> Sts.release_buffer sts ~node:1);
+  Engine.run e;
+  Alcotest.(check int) "page message counted" 1 (Sts.page_messages sts)
+
+let test_sts_message_ordering_per_pair () =
+  (* messages between one src/dst pair arrive in send order (same
+     stations, same wire) *)
+  let e, net = make () in
+  let sts = Sts.create net Sts.default_config in
+  let log = ref [] in
+  Sts.register sts ~node:2 (fun i -> log := i :: !log);
+  for i = 1 to 5 do
+    Sts.send sts ~src:0 ~dst:2 i
+  done;
+  Engine.run e;
+  Alcotest.(check (list int)) "in order" [ 1; 2; 3; 4; 5 ] (List.rev !log)
+
+let () =
+  Alcotest.run "transports"
+    [
+      ( "norma",
+        [
+          Alcotest.test_case "delivery" `Quick test_norma_delivery;
+          Alcotest.test_case "page cost" `Quick test_norma_page_slower;
+          Alcotest.test_case "rights cost" `Quick test_norma_rights_cost;
+        ] );
+      ( "sts",
+        [
+          Alcotest.test_case "delivery + economy" `Quick test_sts_delivery_and_economy;
+          Alcotest.test_case "requires handler" `Quick test_sts_requires_handler;
+          Alcotest.test_case "flow control" `Quick test_sts_flow_control;
+          Alcotest.test_case "ordering" `Quick test_sts_message_ordering_per_pair;
+        ] );
+    ]

@@ -1,0 +1,165 @@
+(* Unit tests pinning the XMM baseline's characteristic behaviours:
+   centralized serialization, clean-at-pager-once, and the protocol's
+   message economy. *)
+
+module Engine = Asvm_simcore.Engine
+module Cluster = Asvm_cluster.Cluster
+module Config = Asvm_cluster.Config
+module Prot = Asvm_machvm.Prot
+module Address_map = Asvm_machvm.Address_map
+module Store_pager = Asvm_pager.Store_pager
+module Disk = Asvm_pager.Disk
+
+let wpp = Asvm_machvm.Vm_config.default.words_per_page
+
+let make ?(nodes = 6) () =
+  Cluster.create (Config.with_mm (Config.default ~nodes) Config.Mm_xmm)
+
+let setup cl ~nodes ~pages =
+  let sharers = List.init nodes Fun.id in
+  let obj = Cluster.create_shared_object cl ~size_pages:pages ~sharers () in
+  let tasks =
+    Array.of_list
+      (List.map
+         (fun node ->
+           let task = Cluster.create_task cl ~node in
+           Cluster.map cl ~task ~obj ~start:0 ~npages:pages
+             ~inherit_:Address_map.Inherit_share;
+           task)
+         sharers)
+  in
+  (obj, tasks)
+
+let wr cl task addr value =
+  Cluster.write_word cl ~task ~addr ~value (fun () -> ());
+  Cluster.run cl
+
+let rd cl task addr =
+  let r = ref 0 in
+  Cluster.read_word cl ~task ~addr (fun v -> r := v);
+  Cluster.run cl;
+  !r
+
+let test_clean_at_pager_once () =
+  (* the first remote request for a dirty page writes it to the paging
+     space (a disk write); later requests are served without the disk *)
+  let cl = make () in
+  let _obj, tasks = setup cl ~nodes:6 ~pages:2 in
+  let disk_writes () = Disk.writes (Store_pager.disk (Cluster.default_pager cl)) in
+  wr cl tasks.(1) 0 7;
+  let before = disk_writes () in
+  ignore (rd cl tasks.(2) 0);
+  let after_first = disk_writes () in
+  Alcotest.(check bool) "first remote request writes paging space" true
+    (after_first > before);
+  ignore (rd cl tasks.(3) 0);
+  ignore (rd cl tasks.(4) 0);
+  Alcotest.(check int) "subsequent requests: no disk" after_first (disk_writes ())
+
+let test_centralized_serialization () =
+  (* concurrent faults from many nodes serialize at the one manager:
+     total time grows roughly linearly with the number of requesters *)
+  let run nodes =
+    let cl = make ~nodes:(nodes + 1) () in
+    let _obj, tasks = setup cl ~nodes:(nodes + 1) ~pages:1 in
+    wr cl tasks.(0) 0 1;
+    let t0 = Cluster.now cl in
+    let remaining = ref nodes in
+    for n = 1 to nodes do
+      Cluster.touch cl ~task:tasks.(n) ~vpage:0 ~want:Prot.Read_only (fun () ->
+          decr remaining)
+    done;
+    Cluster.run cl;
+    assert (!remaining = 0);
+    Cluster.now cl -. t0
+  in
+  let t4 = run 4 and t16 = run 16 in
+  Alcotest.(check bool)
+    (Printf.sprintf "16 readers serialize behind 4 readers (%.1f vs %.1f ms)" t16 t4)
+    true
+    (t16 > 2.2 *. t4)
+
+let test_write_invalidates_all_readers () =
+  let cl = make () in
+  let _obj, tasks = setup cl ~nodes:6 ~pages:1 in
+  wr cl tasks.(0) 0 5;
+  for n = 1 to 4 do
+    ignore (rd cl tasks.(n) 0)
+  done;
+  wr cl tasks.(5) 0 6;
+  for n = 0 to 4 do
+    Alcotest.(check int) (Printf.sprintf "node %d sees overwrite" n) 6
+      (rd cl tasks.(n) 0)
+  done
+
+let test_message_economy () =
+  (* the paper: an XMMI write-permission transfer takes five messages
+     (two with page contents) where ASVM needs three (one with
+     contents). Compare protocol traffic for the same scenario. *)
+  let traffic mm =
+    let cl = Cluster.create (Config.with_mm (Config.default ~nodes:4) mm) in
+    let _obj, tasks = setup cl ~nodes:4 ~pages:1 in
+    wr cl tasks.(1) 0 1;
+    ignore (rd cl tasks.(2) 0);
+    let before = Cluster.protocol_messages cl in
+    wr cl tasks.(3) 0 2;
+    Cluster.protocol_messages cl - before
+  in
+  let xmm = traffic Config.Mm_xmm in
+  let asvm = traffic Config.Mm_asvm in
+  Alcotest.(check bool)
+    (Printf.sprintf "XMM needs more messages than ASVM (%d vs %d)" xmm asvm)
+    true (xmm > asvm)
+
+let test_state_grows_with_nodes () =
+  (* the dense page-state matrix costs bytes per page per node *)
+  let bytes nodes =
+    let cl = make ~nodes () in
+    let obj, _ = setup cl ~nodes ~pages:50 in
+    let x = match Cluster.backend cl with `Xmm x -> x | `Asvm _ -> assert false in
+    Asvm_xmm.Xmm.state_bytes x ~obj
+  in
+  Alcotest.(check int) "4 nodes" 200 (bytes 4);
+  Alcotest.(check int) "16 nodes" 800 (bytes 16)
+
+let test_xmm_dirty_eviction_goes_to_disk () =
+  (* no internode paging: a dirty eviction lands in the paging space *)
+  let config =
+    Config.with_memory_pages
+      (Config.with_mm (Config.default ~nodes:4) Config.Mm_xmm)
+      4
+  in
+  let cl = Cluster.create config in
+  let _obj, tasks = setup cl ~nodes:4 ~pages:12 in
+  for p = 0 to 11 do
+    wr cl tasks.(1) (p * wpp) (700 + p)
+  done;
+  Alcotest.(check bool) "paging space written" true
+    (Disk.writes (Store_pager.disk (Cluster.default_pager cl)) > 0);
+  (* data survives the round trip through the pager *)
+  for p = 0 to 11 do
+    Alcotest.(check int)
+      (Printf.sprintf "page %d" p)
+      (700 + p)
+      (rd cl tasks.(2) (p * wpp))
+  done
+
+let () =
+  Alcotest.run "xmm"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "clean at pager once" `Quick test_clean_at_pager_once;
+          Alcotest.test_case "centralized serialization" `Quick
+            test_centralized_serialization;
+          Alcotest.test_case "invalidates readers" `Quick
+            test_write_invalidates_all_readers;
+          Alcotest.test_case "message economy" `Quick test_message_economy;
+        ] );
+      ( "resources",
+        [
+          Alcotest.test_case "state matrix growth" `Quick test_state_grows_with_nodes;
+          Alcotest.test_case "dirty eviction to disk" `Quick
+            test_xmm_dirty_eviction_goes_to_disk;
+        ] );
+    ]
