@@ -13,6 +13,7 @@ module Copy_chain = Asvm_workloads.Copy_chain
 module File_io = Asvm_workloads.File_io
 module Em3d = Asvm_workloads.Em3d
 module Stats = Asvm_simcore.Stats
+module Metrics = Asvm_obs.Metrics
 
 let pf = Format.printf
 
@@ -35,6 +36,45 @@ let table1 () =
       pf "%-52s %8.2f %8.2f | %8.2f %8.2f@." label asvm xmm pa px)
     rows Paper.table1;
   rule ()
+
+(* With --metrics: the message-count columns of Table 1, read off the
+   metric registry rather than eyeballed from traces. The paper's
+   claim: an ASVM remote ownership transfer takes 3 messages (1 with
+   contents); the same operation under XMM takes 5 (2 with contents). *)
+let table1_messages () =
+  header "Table 1 message counts (per measured fault, from the metric registry)";
+  let rows =
+    [
+      Fault_micro.Write_fault { read_copies = 1 };
+      Fault_micro.Write_fault { read_copies = 2 };
+      Fault_micro.Write_upgrade { read_copies = 2 };
+      Fault_micro.Read_fault { nth_reader = 1 };
+      Fault_micro.Read_fault { nth_reader = 2 };
+    ]
+  in
+  let count mm kind =
+    let r = Fault_micro.measure_instrumented ~mm kind in
+    let name =
+      match mm with
+      | Config.Mm_asvm -> "asvm.msgs.ownership_transfer"
+      | Config.Mm_xmm -> "xmm.msgs.ownership_transfer"
+    in
+    let wire ls = List.assoc_opt "contents" ls = Some "wire" in
+    ( Metrics.counter_total r.Fault_micro.fault_metrics name,
+      Metrics.counter_total ~where:wire r.Fault_micro.fault_metrics name )
+  in
+  pf "%-52s %12s %12s@." "fault type" "ASVM" "XMM";
+  pf "%-52s %12s %12s@." "" "msgs (wire)" "msgs (wire)";
+  rule ();
+  List.iter
+    (fun kind ->
+      let am, aw = count Config.Mm_asvm kind in
+      let xm, xw = count Config.Mm_xmm kind in
+      pf "%-52s %8d (%d) %8d (%d)@." (Fault_micro.describe kind) am aw xm xw)
+    rows;
+  rule ();
+  pf "Paper section 3.3: write-access transfer is 3 messages / 1 with@.";
+  pf "contents under ASVM, 5 / 2 under the XMM baseline.@."
 
 (* ------------------------------------------------------------------ *)
 (* Figure 10                                                          *)
@@ -543,11 +583,12 @@ let bechamel () =
 (* Driver                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let run_selected ~quick which =
+let run_selected ~quick ~metrics which =
   let iterations = if quick then 10 else 100 in
   let all = which = [] in
   let want name = all || List.mem name which in
   if want "table1" then table1 ();
+  if metrics && want "table1" then table1_messages ();
   if want "figure10" then figure10 ();
   if want "figure11" then figure11 ();
   if want "table2" then table2 ();
@@ -561,12 +602,14 @@ let run_selected ~quick which =
 
 let () =
   let quick = ref false in
+  let metrics = ref false in
   let which = ref [] in
   Array.iteri
     (fun i arg ->
       if i > 0 then
         match arg with
         | "--quick" -> quick := true
+        | "--metrics" -> metrics := true
         | name -> which := name :: !which)
     Sys.argv;
-  run_selected ~quick:!quick (List.rev !which)
+  run_selected ~quick:!quick ~metrics:!metrics (List.rev !which)

@@ -15,6 +15,7 @@ module Fault_micro = Asvm_workloads.Fault_micro
 module Copy_chain = Asvm_workloads.Copy_chain
 module File_io = Asvm_workloads.File_io
 module Em3d = Asvm_workloads.Em3d
+module Metrics = Asvm_obs.Metrics
 
 let mm_arg =
   let parse = function
@@ -30,6 +31,26 @@ let mm_term =
     value
     & opt mm_arg Config.Mm_asvm
     & info [ "mm" ] ~docv:"MM" ~doc:"Memory manager: $(b,asvm) or $(b,xmm).")
+
+let trace_out_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Stream the protocol trace to $(docv), one JSON object per line \
+           (see docs/OBSERVABILITY.md for the schema).")
+
+let metrics_term =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:"Print the metric registry snapshot after the run.")
+
+let print_snapshot ~header snapshot =
+  Printf.printf "\n%s\n" header;
+  Metrics.pp_snapshot Format.std_formatter snapshot;
+  Format.pp_print_flush Format.std_formatter ()
 
 (* ------------------------------- fault ------------------------------ *)
 
@@ -47,20 +68,30 @@ let fault_cmd =
   let nodes_term =
     Arg.(value & opt int 72 & info [ "nodes" ] ~doc:"Machine size.")
   in
-  let run mm kind readers nodes =
+  let run mm kind readers nodes trace_out metrics =
     let fk =
       match kind with
       | `Write -> Fault_micro.Write_fault { read_copies = readers }
       | `Upgrade -> Fault_micro.Write_upgrade { read_copies = readers }
       | `Read -> Fault_micro.Read_fault { nth_reader = readers }
     in
-    let ms = Fault_micro.measure ~nodes ~mm fk in
+    let r = Fault_micro.measure_instrumented ~nodes ?trace_out ~mm fk in
     Printf.printf "%s under %s: %.2f ms\n" (Fault_micro.describe fk)
-      (Config.mm_name mm) ms
+      (Config.mm_name mm) r.Fault_micro.latency_ms;
+    if metrics then begin
+      print_snapshot ~header:"counters over the measured fault:"
+        r.Fault_micro.fault_metrics;
+      print_snapshot ~header:"full run snapshot:" r.Fault_micro.run_metrics
+    end;
+    Option.iter
+      (fun f -> Printf.printf "\ntrace written to %s\n" f)
+      trace_out
   in
   Cmd.v
     (Cmd.info "fault" ~doc:"Page-fault latency microbenchmark (Table 1).")
-    Term.(const run $ mm_term $ kind_term $ readers_term $ nodes_term)
+    Term.(
+      const run $ mm_term $ kind_term $ readers_term $ nodes_term
+      $ trace_out_term $ metrics_term)
 
 (* ------------------------------- chain ------------------------------ *)
 
@@ -128,7 +159,7 @@ let em3d_cmd =
       & info [ "big-memory" ]
           ~doc:"Give every node enough memory for the whole data set.")
   in
-  let run mm nodes cells iterations big_mem =
+  let run mm nodes cells iterations big_mem metrics =
     let memory_pages =
       if big_mem then Some (Em3d.data_pages ~cells + 64) else None
     in
@@ -150,12 +181,16 @@ let em3d_cmd =
         "EM3D %d cells, %d iterations on %d nodes under %s: %.2f s (%d page \
          faults, %d protocol messages)\n"
         cells iterations nodes (Config.mm_name mm) r.Em3d.seconds r.Em3d.faults
-        r.Em3d.protocol_messages
+        r.Em3d.protocol_messages;
+      if metrics then
+        print_snapshot ~header:"metric registry snapshot:" r.Em3d.metrics
     end
   in
   Cmd.v
     (Cmd.info "em3d" ~doc:"EM3D application benchmark (Table 3).")
-    Term.(const run $ mm_term $ nodes_term $ cells_term $ iter_term $ big_mem_term)
+    Term.(
+      const run $ mm_term $ nodes_term $ cells_term $ iter_term $ big_mem_term
+      $ metrics_term)
 
 (* -------------------------------- sor ------------------------------- *)
 
@@ -185,5 +220,12 @@ let sor_cmd =
 let () =
   let doc = "ASVM multicomputer simulator (USENIX '96 reproduction)" in
   let info = Cmd.info "asvm-sim" ~version:"1.0.0" ~doc in
-  exit
-    (Cmd.eval (Cmd.group info [ fault_cmd; chain_cmd; file_cmd; em3d_cmd; sor_cmd ]))
+  match
+    Cmd.eval ~catch:false
+      (Cmd.group info [ fault_cmd; chain_cmd; file_cmd; em3d_cmd; sor_cmd ])
+  with
+  | code -> exit code
+  | exception Sys_error msg ->
+    (* e.g. an unwritable --trace-out path *)
+    Printf.eprintf "asvm-sim: %s\n" msg;
+    exit 1

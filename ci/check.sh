@@ -1,0 +1,21 @@
+#!/bin/sh
+# CI entry point: build everything, run the test suites, and build the
+# API docs when odoc is available. Run from the repository root.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== dune build"
+dune build @all
+
+echo "== dune runtest"
+dune runtest
+
+if command -v odoc >/dev/null 2>&1; then
+  echo "== dune build @doc"
+  dune build @doc
+else
+  echo "== odoc not installed; skipping dune build @doc"
+fi
+
+echo "== ok"

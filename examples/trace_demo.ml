@@ -7,7 +7,8 @@
 module Cluster = Asvm_cluster.Cluster
 module Config = Asvm_cluster.Config
 module Address_map = Asvm_machvm.Address_map
-module Tracer = Asvm_simcore.Tracer
+module Trace = Asvm_obs.Trace
+module Metrics = Asvm_obs.Metrics
 
 let () =
   let config = { (Config.default ~nodes:3) with trace_capacity = Some 64 } in
@@ -36,9 +37,21 @@ let () =
   wr t1 2;
   (* one write fault: zero-grant; two read grants; one upgrade with two
      invalidations — all visible in the trace *)
-  match Cluster.tracer cl with
-  | Some tracer ->
+  (match Cluster.trace cl with
+  | Some trace ->
     Printf.printf "protocol trace (%d events total, showing buffer):\n\n"
-      (Tracer.emitted tracer);
-    Tracer.dump Format.std_formatter tracer
-  | None -> print_endline "tracing disabled"
+      (Trace.emitted trace);
+    Trace.dump Format.std_formatter trace;
+    (* the same events are available as structured data: *)
+    let ownership_changes =
+      List.length
+        (List.filter
+           (fun (e : Trace.event) ->
+             match e.kind with Trace.Ownership _ -> true | _ -> false)
+           (Trace.events trace))
+    in
+    Printf.printf "\nownership transitions in buffer: %d\n" ownership_changes
+  | None -> print_endline "tracing disabled");
+  print_endline "\nmetric registry at end of run:";
+  Metrics.pp_snapshot Format.std_formatter (Cluster.metrics_snapshot cl);
+  Format.pp_print_flush Format.std_formatter ()

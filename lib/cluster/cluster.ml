@@ -11,6 +11,8 @@ module Disk = Asvm_pager.Disk
 module Store_pager = Asvm_pager.Store_pager
 module Asvm = Asvm_core.Asvm
 module Xmm = Asvm_xmm.Xmm
+module Metrics = Asvm_obs.Metrics
+module Trace = Asvm_obs.Trace
 
 type backend = B_asvm of Asvm.t | B_xmm of Xmm.t
 
@@ -25,7 +27,8 @@ type t = {
   backend : backend;
   default_pager : Store_pager.t;
   io_disk : Disk.t;
-  tracer : Asvm_simcore.Tracer.t option;
+  metrics : Metrics.Registry.t;
+  trace : Trace.t option;
   (* distributed objects and their sharer sets *)
   registered : (Ids.obj_id, int list) Hashtbl.t;
   pagers : (Ids.obj_id, Store_pager.t list) Hashtbl.t;
@@ -34,7 +37,8 @@ type t = {
 let create (config : Config.t) =
   let engine = Engine.create () in
   let topo = Topology.create ~nodes:config.nodes in
-  let net = Network.create engine config.net topo in
+  let metrics = Metrics.Registry.create () in
+  let net = Network.create ~metrics engine config.net topo in
   let ids = Ids.Alloc.create () in
   let io_disk = Disk.create engine config.disk in
   let default_pager =
@@ -45,22 +49,27 @@ let create (config : Config.t) =
     Array.init config.nodes (fun node ->
         Vm.create ~engine ~node ~config:config.vm ~backing ~ids)
   in
-  let tracer =
-    Option.map
-      (fun capacity -> Asvm_simcore.Tracer.create ~capacity)
-      config.trace_capacity
+  let trace =
+    match (config.trace_capacity, config.trace_out) with
+    | None, None -> None
+    | capacity, out ->
+      let tr = Trace.create ?capacity () in
+      Option.iter
+        (fun path -> Trace.set_jsonl tr (Some (open_out path)))
+        out;
+      Some tr
   in
   let backend =
     match config.mm with
     | Config.Mm_asvm ->
       B_asvm
         (Asvm.create ~net ~config:config.asvm ~vms
-           ~words_per_page:config.vm.words_per_page ?tracer ())
+           ~words_per_page:config.vm.words_per_page ~metrics ?trace ())
     | Config.Mm_xmm ->
       B_xmm
         (Xmm.create ~net ~ipc_config:config.norma ~vms
            ~words_per_page:config.vm.words_per_page
-           ~fork_threads:config.fork_threads)
+           ~fork_threads:config.fork_threads ~metrics ?trace ())
   in
   {
     config;
@@ -73,7 +82,8 @@ let create (config : Config.t) =
     io_disk;
     registered = Hashtbl.create 32;
     pagers = Hashtbl.create 32;
-    tracer;
+    metrics;
+    trace;
   }
 
 let config t = t.config
@@ -86,7 +96,19 @@ let backend t =
   match t.backend with B_asvm a -> `Asvm a | B_xmm x -> `Xmm x
 
 let default_pager t = t.default_pager
-let tracer t = t.tracer
+let trace t = t.trace
+let metrics t = t.metrics
+
+let metrics_snapshot t =
+  let p = Engine.profile t.engine in
+  let gauge name v =
+    Metrics.Gauge.set (Metrics.Registry.gauge t.metrics name) v
+  in
+  gauge "engine.events" (float_of_int p.Engine.events);
+  gauge "engine.sim_ms" p.Engine.sim_ms;
+  gauge "engine.cpu_s" p.Engine.cpu_s;
+  gauge "engine.cpu_us_per_sim_ms" p.Engine.cpu_us_per_sim_ms;
+  Metrics.Registry.snapshot t.metrics
 
 (* ------------------------------------------------------------------ *)
 (* Object creation                                                    *)

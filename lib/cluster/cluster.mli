@@ -27,8 +27,18 @@ val backend :
 
 val default_pager : t -> Asvm_pager.Store_pager.t
 
-(** The protocol tracer, when [Config.trace_capacity] is set. *)
-val tracer : t -> Asvm_simcore.Tracer.t option
+(** The structured trace, when [Config.trace_capacity] or
+    [Config.trace_out] is set. *)
+val trace : t -> Asvm_obs.Trace.t option
+
+(** The cluster-wide metric registry, shared by the network layer, the
+    transports and the memory manager. Always present; metrics cost one
+    hash lookup per protocol message. *)
+val metrics : t -> Asvm_obs.Metrics.Registry.t
+
+(** Snapshot every metric, after refreshing the [engine.*] profiling
+    gauges (event count, simulated ms, host CPU seconds). *)
+val metrics_snapshot : t -> Asvm_obs.Metrics.snapshot
 
 (** {1 Memory objects} *)
 

@@ -14,6 +14,7 @@ type t = {
   fork_threads : int;
   barrier_ms : float;
   trace_capacity : int option;
+  trace_out : string option;
 }
 
 let default ~nodes =
@@ -31,6 +32,7 @@ let default ~nodes =
     fork_threads = 16;
     barrier_ms = 0.4;
     trace_capacity = None;
+    trace_out = None;
   }
 
 let with_mm t mm = { t with mm }

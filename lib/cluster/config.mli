@@ -18,8 +18,12 @@ type t = {
   fork_threads : int;  (** XMM internal-pager thread pool per node *)
   barrier_ms : float;  (** cost of one barrier release *)
   trace_capacity : int option;
-      (** keep the most recent N protocol events (see
-          {!Asvm_simcore.Tracer}); [None] disables tracing *)
+      (** keep the most recent N protocol events in the in-memory ring
+          (see {!Asvm_obs.Trace}); [None] disables the ring unless
+          [trace_out] is set *)
+  trace_out : string option;
+      (** stream every trace event as one JSON object per line to this
+          file (see [docs/OBSERVABILITY.md] for the schema) *)
 }
 
 (** Paragon GP defaults: 16 MB nodes (~9 MB for user pages), ASVM. *)

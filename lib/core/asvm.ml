@@ -7,6 +7,8 @@ module Contents = Asvm_machvm.Contents
 module Emmi = Asvm_machvm.Emmi
 module Ids = Asvm_machvm.Ids
 module Store_pager = Asvm_pager.Store_pager
+module Metrics = Asvm_obs.Metrics
+module Trace = Asvm_obs.Trace
 
 type forwarding = { dynamic : bool; static : bool }
 
@@ -63,6 +65,11 @@ type msg =
       version : int;
       dirty : bool;
       from : int;
+      updated : bool;
+          (** the supplier already told the static manager the origin is
+              the new owner, so the origin must not repeat the update —
+              this is what keeps a remote ownership transfer at the
+              paper's three messages *)
     }
   | A_grant of { obj : Ids.obj_id; page : int; version : int; from : int }
   | A_invalidate of { obj : Ids.obj_id; page : int; new_owner : int; from : int }
@@ -188,9 +195,11 @@ type inst = {
   (* continuations waiting for a boolean answer (reader query, transfer
      offer), keyed by page *)
   i_answers : (int, bool -> unit) Hashtbl.t;
-  (* pages this node has its own fault request in flight for; foreign
-     requests arriving meanwhile park here until ownership lands *)
-  i_outstanding : (int, unit) Hashtbl.t;
+  (* pages this node has its own fault request in flight for (value =
+     simulated time the fault fired, feeding the transfer-latency
+     histogram); foreign requests arriving meanwhile park here until
+     ownership lands *)
+  i_outstanding : (int, float) Hashtbl.t;
   i_waiting_inbound : (int, request Queue.t) Hashtbl.t;
   (* pager-node role: page -> node the pager last granted the page to;
      serializes simultaneous cold faults on one page (single-owner) *)
@@ -206,10 +215,12 @@ type t = {
   config : config;
   insts : (int * Ids.obj_id, inst) Hashtbl.t;
   counters : Stats.Counters.t;
-  tracer : Asvm_simcore.Tracer.t option;
+  metrics : Metrics.Registry.t;
+  trace : Trace.t option;
 }
 
 let counters t = t.counters
+let now t = Engine.now (Vm.engine t.vms.(0))
 let sts_messages t = Sts.messages t.sts
 let sts_page_messages t = Sts.page_messages t.sts
 
@@ -252,20 +263,78 @@ let tag_of_msg = function
   | A_scan_answer _ -> "scan_answer"
   | A_retry _ -> "retry"
 
+(* Message class for the metrics registry: like [tag_of_msg] but a
+   stable label with no interpolated per-message detail. *)
+let class_of_msg = function
+  | A_reply _ -> "reply"
+  | msg -> tag_of_msg msg
+
+(* Bucket each message class into the accounting groups the paper's
+   message-count claims are stated in (Table 1 and section 3):
+   - "transfer": the ownership/access-transfer core — request, reply,
+     grant, and the owner-change notice to the static manager;
+   - "invalidation": flushing read copies before a write grant;
+   - "pager": backing-store traffic (lookups and page-out stores);
+   - "pageout": the four-step eviction negotiation (3.6);
+   - "copy": delayed-copy machinery — pushes, pulls, scans (3.7).
+   A request's group follows its kind: a pull or push-scan walking the
+   shadow chain is copy machinery, not an ownership transfer. *)
+let group_of_msg = function
+  | A_request { r_kind = K_fault; _ } | A_reply _ | A_grant _ | A_owner_update _
+    ->
+    "transfer"
+  | A_invalidate _ | A_inval_ack _ -> "invalidation"
+  | A_pager_lookup _ | A_to_pager _ | A_pager_offer _ | A_pager_grant _ ->
+    "pager"
+  | A_reader_query _ | A_reader_answer _ | A_transfer_offer _
+  | A_transfer_answer _ | A_transfer_page _ ->
+    "pageout"
+  | A_request _ | A_pull _ | A_copy_made _ | A_copy_shared _ | A_copy_ack _
+  | A_push_lock _ | A_push_lock_done _ | A_push_contents _ | A_push_ack _
+  | A_push_prepare _ | A_push_ready _ | A_push_to_copy _ | A_scan_answer _
+  | A_retry _ ->
+    "copy"
+
+let page_bytes = 8192
+
 let send t ~src ~dst ?carries_page msg =
   if debug_msgs then
     Printf.eprintf "[asvm] %d -> %d : %s%s\n%!" src dst (tag_of_msg msg)
       (if carries_page = Some true then " [page]" else "");
-  (match t.tracer with
-  | Some _ ->
-    Asvm_simcore.Tracer.emit t.tracer
-      ~time:(Engine.now (Vm.engine t.vms.(src)))
-      ~node:src ~category:"asvm"
-      ~detail:
-        (Printf.sprintf "-> %d %s%s" dst (tag_of_msg msg)
-           (if carries_page = Some true then " [page]" else ""))
-  | None -> ());
+  let page = carries_page = Some true in
+  let cls = class_of_msg msg and group = group_of_msg msg in
+  (* "contents" follows the paper's accounting: a message counts as
+     carrying contents only when a page actually crosses the wire *)
+  let contents =
+    if not page then "none" else if src = dst then "local" else "wire"
+  in
+  Metrics.Counter.incr
+    (Metrics.Registry.counter t.metrics "asvm.msgs"
+       ~labels:[ ("class", cls); ("group", group); ("contents", contents) ]);
+  if group = "transfer" then
+    Metrics.Counter.incr
+      (Metrics.Registry.counter t.metrics "asvm.msgs.ownership_transfer"
+         ~labels:[ ("msg", cls); ("contents", contents) ]);
+  Trace.emit t.trace ~time:(now t) ~node:src
+    (Trace.Msg
+       {
+         proto = "asvm";
+         cls;
+         group;
+         src;
+         dst;
+         carries_page = page;
+         bytes = (t.config.sts.Sts.header_bytes + if page then page_bytes else 0);
+       });
   Sts.send t.sts ~src ~dst ?carries_page msg
+
+(* Per-forwarding-mechanism counters (dynamic hints, static manager,
+   global sweep...), mirrored into the registry next to the legacy
+   [Stats.Counters] names that tests and benches already consume. *)
+let count_forward t mechanism =
+  Metrics.Counter.incr
+    (Metrics.Registry.counter t.metrics "asvm.forwarding"
+       ~labels:[ ("mechanism", mechanism) ])
 
 let static_mgr i page = i.i_sharers.(page mod Array.length i.i_sharers)
 
@@ -348,6 +417,7 @@ and forward_request t node i req =
   else if req.r_hops > (2 * Array.length i.i_sharers) + 8 then begin
     (* stale hint loop: abandon hints, fall back to a global sweep *)
     Stats.Counters.incr t.counters "forward.loop_breaks";
+    count_forward t "loop_break";
     start_sweep t node i req
   end
   else begin
@@ -357,6 +427,7 @@ and forward_request t node i req =
     match hint with
     | Some target when target <> node ->
       Stats.Counters.incr t.counters "forward.dynamic";
+      count_forward t "dynamic";
       (* Note: Li's hint-chain collapse ("the originator becomes the
          next owner", paper 3.2) is deliberately NOT applied here at
          forwarding nodes. With concurrent writers, speculative hints to
@@ -371,6 +442,7 @@ and forward_request t node i req =
         let sm = static_mgr i req.r_page in
         if sm <> node then begin
           Stats.Counters.incr t.counters "forward.to_static";
+          count_forward t "to_static";
           send t ~src:node ~dst:sm (A_request req)
         end
         else consult_static t node i req
@@ -392,13 +464,16 @@ and consult_static t node i req =
   match Hint_cache.find i.i_static ~page:req.r_page with
   | Some (S_at target) when target <> node ->
     Stats.Counters.incr t.counters "forward.static_hit";
+    count_forward t "static_hit";
     send t ~src:node ~dst:target (A_request req)
   | Some S_fresh ->
     Stats.Counters.incr t.counters "forward.fresh_hint";
+    count_forward t "fresh_hint";
     claim_for_origin ();
     conclude_fresh t node i req
   | Some S_paged ->
     Stats.Counters.incr t.counters "forward.paged_hint";
+    count_forward t "paged_hint";
     claim_for_origin ();
     to_pager_lookup t node i req
   | Some (S_at _) (* stale self-reference *) | None ->
@@ -417,6 +492,7 @@ and to_pager_lookup t node i req =
 
 and start_sweep t node i req =
   Stats.Counters.incr t.counters "forward.global_sweeps";
+  count_forward t "global_sweep";
   req.r_ring <- node;
   let next = next_sharer i node in
   if next = node then end_of_search t node i req
@@ -469,6 +545,7 @@ and pager_lookup t node i req =
                  version = 0;
                  dirty = false;
                  from = node;
+                 updated = true;
                }))
   end
   else
@@ -511,6 +588,7 @@ and conclude_fresh t node i req =
            version = 0;
            dirty = false;
            from = node;
+           updated = true;
          })
 
 (* ------------------------------------------------------------------ *)
@@ -555,6 +633,7 @@ and reply_pull t node _i ps req =
            version = 0;
            dirty = false;
            from = node;
+           updated = false;
          })
   | None ->
     (* owner invariant violated only transiently; treat as not found *)
@@ -587,6 +666,7 @@ and owner_read_grant t node i ps req =
                version = ps.p_version;
                dirty = false;
                from = node;
+               updated = false;
              });
         finish_owner_op t node i ps req.r_page ~moved_to:(Some node))
 
@@ -625,6 +705,8 @@ and owner_write_grant t node i ps req =
                 }
               ~reply:(fun _ ->
                 Stats.Counters.incr t.counters "ownership_transfers";
+                Metrics.Counter.incr
+                  (Metrics.Registry.counter t.metrics "asvm.ownership_transfers");
                 let was_reader = List.mem req.r_origin ps.p_readers in
                 if req.r_upgrade && was_reader then
                   send t ~src:node ~dst:req.r_origin
@@ -649,6 +731,7 @@ and owner_write_grant t node i ps req =
                          version = ps.p_version;
                          dirty;
                          from = node;
+                         updated = true;
                        })
                 end;
                 (* the old owner flushes its own copy: single writer *)
@@ -929,17 +1012,19 @@ let pager_store_handshake t node i ~page ~contents =
     ~dst:(Store_pager.node (pager_of i page))
     (A_pager_offer { obj = i.i_obj; page; from = node })
 
-let install_owner t node i ~page ~readers ~version ~dirty =
+(* [static_updated]: the supplier already recorded this node as owner
+   at the static manager (the [updated] flag of the reply), so sending
+   a second [A_owner_update] would only repeat the same hint — the
+   paper's three-message transfer relies on exactly one. *)
+let install_owner t node i ~page ~readers ~version ~dirty ~static_updated =
   let ps = new_pstate ~version in
   ps.p_readers <- readers;
   Hashtbl.replace i.i_pages page ps;
   if dirty then Vm.set_frame_dirty t.vms.(node) ~obj:i.i_obj ~page;
   Hint_cache.remove i.i_dyn ~page;
-  Asvm_simcore.Tracer.emit t.tracer
-    ~time:(Engine.now (Vm.engine t.vms.(node)))
-    ~node ~category:"owner"
-    ~detail:(Printf.sprintf "obj#%d page %d ownership -> node %d" i.i_obj page node);
-  update_static t i ~page ~hint:(S_at node)
+  Trace.emit t.trace ~time:(now t) ~node
+    (Trace.Ownership { obj = i.i_obj; page; owner = node });
+  if not static_updated then update_static t i ~page ~hint:(S_at node)
 
 (* Requests that parked here while our own fault was in flight are
    re-routed once ownership (and the frame) have landed. *)
@@ -954,9 +1039,21 @@ let drain_inbound t node i page =
       (fun req -> Engine.schedule (Vm.engine vm) ~delay (fun () -> route_request t node req))
       q
 
-let handle_reply t node (origin_obj, page, contents, grant, owner, readers, version, dirty, from) =
+(* A completed fault: sample its latency into the registry. *)
+let observe_fault_latency t i ~page ~ownership =
+  match Hashtbl.find_opt i.i_outstanding page with
+  | None -> ()
+  | Some t0 ->
+    Metrics.Histogram.observe
+      (Metrics.Registry.histogram t.metrics "asvm.fault_ms"
+         ~labels:[ ("kind", if ownership then "ownership" else "read") ])
+      (now t -. t0)
+
+let handle_reply t node
+    (origin_obj, page, contents, grant, owner, readers, version, dirty, from, updated) =
   let i = inst t node origin_obj in
   Sts.release_buffer t.sts ~node;
+  observe_fault_latency t i ~page ~ownership:owner;
   Hashtbl.remove i.i_outstanding page;
   let vm = t.vms.(node) in
   let c = match contents with Some c -> c | None -> zero t in
@@ -973,7 +1070,9 @@ let handle_reply t node (origin_obj, page, contents, grant, owner, readers, vers
   in
   Vm.data_supply vm ~obj:origin_obj ~page ~contents:c ~lock:effective_grant
     ~mode:Emmi.Supply_normal;
-  if owner then install_owner t node i ~page ~readers ~version ~dirty
+  if owner then
+    install_owner t node i ~page ~readers ~version ~dirty
+      ~static_updated:updated
   else Hint_cache.put i.i_dyn ~page from;
   drain_inbound t node i page
 
@@ -1003,17 +1102,23 @@ let rec handle t node msg =
   | A_pager_lookup req ->
     let i = inst t node req.r_obj in
     pager_lookup t node i req
-  | A_reply { origin_obj; page; contents; grant; owner; readers; version; dirty; from } ->
-    handle_reply t node (origin_obj, page, contents, grant, owner, readers, version, dirty, from)
+  | A_reply
+      { origin_obj; page; contents; grant; owner; readers; version; dirty; from; updated }
+    ->
+    handle_reply t node
+      (origin_obj, page, contents, grant, owner, readers, version, dirty, from, updated)
   | A_grant { obj; page; version; from } ->
     let i = inst t node obj in
     Sts.release_buffer t.sts ~node;
+    observe_fault_latency t i ~page ~ownership:true;
     Hashtbl.remove i.i_outstanding page;
     if Vm.is_resident t.vms.(node) ~obj ~page then begin
       Vm.lock_request t.vms.(node) ~obj ~page
         ~op:{ Emmi.max_access = Prot.Read_write; clean = false; mode = Emmi.Lock_plain }
         ~reply:(fun _ -> ());
-      install_owner t node i ~page ~readers:[] ~version ~dirty:false;
+      (* the granting owner already updated the static manager *)
+      install_owner t node i ~page ~readers:[] ~version ~dirty:false
+        ~static_updated:true;
       ignore from;
       drain_inbound t node i page
     end
@@ -1258,6 +1363,7 @@ and handle_pull t node req =
                version = 0;
                dirty = false;
                from = node;
+               updated = false;
              })
       | Emmi.Pull_zero_fill ->
         send t ~src:node ~dst:req.r_origin
@@ -1272,6 +1378,7 @@ and handle_pull t node req =
                version = 0;
                dirty = false;
                from = node;
+               updated = false;
              })
       | Emmi.Pull_ask_shadow shadow_obj ->
         (* continue the search in the shadow object's SVM space *)
@@ -1284,8 +1391,11 @@ and handle_pull t node req =
 (* Construction / registration                                        *)
 (* ------------------------------------------------------------------ *)
 
-let create ~net ~(config : config) ~vms ~words_per_page ?tracer () =
-  let sts = Sts.create net config.sts in
+let create ~net ~(config : config) ~vms ~words_per_page ?metrics ?trace () =
+  let metrics =
+    match metrics with Some m -> m | None -> Metrics.Registry.create ()
+  in
+  let sts = Sts.create ~metrics net config.sts in
   let t =
     {
       sts;
@@ -1294,7 +1404,8 @@ let create ~net ~(config : config) ~vms ~words_per_page ?tracer () =
       config;
       insts = Hashtbl.create 64;
       counters = Stats.Counters.create ();
-      tracer;
+      metrics;
+      trace;
     }
   in
   Array.iteri (fun node _ -> Sts.register sts ~node (fun msg -> handle t node msg)) vms;
@@ -1402,7 +1513,8 @@ let register_object t ~obj ~size_pages ~sharers ~pagers ?forwarding ?shadow ()
           else begin
             (* a page answer needs a preallocated receive buffer here;
                requests wait when the pool is exhausted (flow control) *)
-            Hashtbl.replace i.i_outstanding page ();
+            Hashtbl.replace i.i_outstanding page
+              (Engine.now (Vm.engine t.vms.(node)));
             let rec acquire () =
               if Sts.reserve_buffer t.sts ~node then fire ()
               else Engine.schedule (Vm.engine t.vms.(node)) ~delay:0.5 acquire

@@ -47,14 +47,21 @@ val default_config : config
 
 type t
 
-(** [tracer] receives one event per protocol message (category
-    ["asvm"]) and per ownership transition (category ["owner"]). *)
+(** [metrics] receives the protocol's counter families —
+    [asvm.msgs] (labels [class]/[group]/[contents]),
+    [asvm.msgs.ownership_transfer], [asvm.forwarding] (label
+    [mechanism]), [asvm.ownership_transfers] — and the [asvm.fault_ms]
+    latency histogram; a private registry is created when omitted.
+    [trace] receives one structured {!Asvm_obs.Trace.Msg} event per
+    protocol message and an {!Asvm_obs.Trace.Ownership} event per
+    ownership transition.  See [docs/OBSERVABILITY.md]. *)
 val create :
   net:Asvm_mesh.Network.t ->
   config:config ->
   vms:Vm.t array ->
   words_per_page:int ->
-  ?tracer:Asvm_simcore.Tracer.t ->
+  ?metrics:Asvm_obs.Metrics.Registry.t ->
+  ?trace:Asvm_obs.Trace.t ->
   unit ->
   t
 

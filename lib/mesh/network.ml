@@ -12,6 +12,8 @@ type config = {
 let paragon_config =
   { fixed_ms = 0.002; per_hop_ms = 0.00004; per_byte_ms = 4.77e-6 }
 
+module Metrics = Asvm_obs.Metrics
+
 type t = {
   engine : Engine.t;
   config : config;
@@ -20,9 +22,10 @@ type t = {
   rx : Station.t array;
   mutable messages : int;
   mutable bytes_sent : int;
+  metrics : Metrics.Registry.t option;
 }
 
-let create engine config topology =
+let create ?metrics engine config topology =
   let n = Topology.nodes topology in
   {
     engine;
@@ -32,6 +35,7 @@ let create engine config topology =
     rx = Array.init n (fun _ -> Station.create engine);
     messages = 0;
     bytes_sent = 0;
+    metrics;
   }
 
 let topology t = t.topology
@@ -51,6 +55,19 @@ let send t ~src ~dst ~bytes ~sw_send ~sw_recv k =
     invalid_arg "Network.send: bad node id";
   t.messages <- t.messages + 1;
   t.bytes_sent <- t.bytes_sent + bytes;
+  (match t.metrics with
+  | None -> ()
+  | Some m ->
+    Metrics.Counter.incr (Metrics.Registry.counter m "net.messages");
+    Metrics.Counter.incr ~by:bytes (Metrics.Registry.counter m "net.bytes");
+    (* how far behind this sender's tx station is right now: the queue
+       depth seen by the message, expressed in milliseconds of backlog *)
+    let backlog =
+      Float.max 0. (Station.busy_until t.tx.(src) -. Engine.now t.engine)
+    in
+    Metrics.Histogram.observe
+      (Metrics.Registry.histogram m "net.tx_backlog_ms")
+      backlog);
   let wire = wire_latency t ~src ~dst ~bytes in
   (* The sender's software path occupies its tx station; the wire adds pure
      latency; the receiver's software path occupies its rx station. *)

@@ -23,7 +23,16 @@ val paragon_config : config
 
 type t
 
-val create : Asvm_simcore.Engine.t -> config -> Topology.t -> t
+(** [create ?metrics engine config topology].  When [metrics] is
+    given, each send bumps the [net.messages] / [net.bytes] counters
+    and samples the sender's transmit-queue backlog (ms of queued
+    service time) into the [net.tx_backlog_ms] histogram. *)
+val create :
+  ?metrics:Asvm_obs.Metrics.Registry.t ->
+  Asvm_simcore.Engine.t ->
+  config ->
+  Topology.t ->
+  t
 
 val topology : t -> Topology.t
 val engine : t -> Asvm_simcore.Engine.t

@@ -1,0 +1,43 @@
+(** Minimal JSON values, printing, and parsing.
+
+    The observability layer emits JSONL (one JSON object per line) for
+    traces and metric snapshots.  The simulator deliberately avoids
+    external JSON dependencies, so this module provides the small
+    subset we need: a value type, a compact printer whose output is
+    valid JSON, and a recursive-descent parser used by the round-trip
+    tests and by consumers that want to read traces back. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+      (** Object fields, in emission order.  Duplicate keys are not
+          rejected; [member] returns the first match. *)
+
+val to_string : t -> string
+(** [to_string v] prints [v] as compact (single-line) JSON.  Floats
+    are printed with up to 12 significant digits and always parse back
+    as JSON numbers (never ["1."]).  Non-finite floats print as
+    [null]. *)
+
+val of_string : string -> (t, string) result
+(** [of_string s] parses one JSON value from [s].  Trailing
+    whitespace is allowed; trailing garbage is an error.  Numbers
+    without [.], [e] or [E] parse as [Int], others as [Float]. *)
+
+val member : string -> t -> t option
+(** [member key v] is the value of field [key] if [v] is an [Obj]
+    containing it. *)
+
+val to_int : t -> int option
+(** [Int]s, and [Float]s that are exact integers. *)
+
+val to_float : t -> float option
+(** [Float]s and [Int]s, as a float. *)
+
+val to_bool : t -> bool option
+val to_str : t -> string option

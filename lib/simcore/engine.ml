@@ -3,9 +3,11 @@ type t = {
   mutable now : float;
   mutable seq : int;
   mutable executed : int;
+  mutable cpu_s : float;
 }
 
-let create () = { queue = Event_queue.create (); now = 0.; seq = 0; executed = 0 }
+let create () =
+  { queue = Event_queue.create (); now = 0.; seq = 0; executed = 0; cpu_s = 0. }
 
 let now t = t.now
 
@@ -30,6 +32,7 @@ let step t =
     true
 
 let run ?until ?max_events t =
+  let wall0 = Sys.time () in
   let continue () =
     (match max_events with Some m -> t.executed < m | None -> true)
     && (match until, Event_queue.min_time t.queue with
@@ -40,6 +43,7 @@ let run ?until ?max_events t =
   while continue () && step t do
     ()
   done;
+  t.cpu_s <- t.cpu_s +. (Sys.time () -. wall0);
   match until with
   | Some u when Event_queue.is_empty t.queue || Option.value ~default:u (Event_queue.min_time t.queue) > u ->
     if u > t.now then t.now <- u
@@ -48,3 +52,18 @@ let run ?until ?max_events t =
 let events_executed t = t.executed
 
 let pending t = Event_queue.size t.queue
+
+type profile = {
+  events : int;
+  sim_ms : float;
+  cpu_s : float;
+  cpu_us_per_sim_ms : float;
+}
+
+let profile t =
+  {
+    events = t.executed;
+    sim_ms = t.now;
+    cpu_s = t.cpu_s;
+    cpu_us_per_sim_ms = (if t.now > 0. then t.cpu_s *. 1e6 /. t.now else 0.);
+  }

@@ -8,6 +8,7 @@
 
 type t
 
+(** A fresh engine with an empty queue at time 0. *)
 val create : unit -> t
 
 (** Current virtual time in milliseconds. *)
@@ -33,3 +34,19 @@ val events_executed : t -> int
 
 (** Number of events still queued. *)
 val pending : t -> int
+
+(** Profiling counters accumulated across all calls to {!run}.
+
+    [cpu_s] is host CPU time (via [Sys.time]) spent inside the event
+    loop; [cpu_us_per_sim_ms] relates it to simulated progress —
+    microseconds of host CPU burned per simulated millisecond (0 when
+    no virtual time has passed).  These feed the [engine.*] gauges of
+    the observability registry (see [docs/OBSERVABILITY.md]). *)
+type profile = {
+  events : int;  (** same as {!events_executed} *)
+  sim_ms : float;  (** current virtual time, same as {!now} *)
+  cpu_s : float;
+  cpu_us_per_sim_ms : float;
+}
+
+val profile : t -> profile

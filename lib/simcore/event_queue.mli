@@ -5,10 +5,13 @@
 
 type t
 
+(** An empty queue. *)
 val create : unit -> t
 
+(** No events queued. *)
 val is_empty : t -> bool
 
+(** Number of events queued. *)
 val size : t -> int
 
 (** [add q ~time ~seq k] inserts event [k] firing at [time]. *)

@@ -6,6 +6,8 @@
 
 type t
 
+(** [create seed] builds a generator whose stream is a pure function
+    of [seed]. *)
 val create : int -> t
 
 (** Uniform integer in [\[0, bound)]. @raise Invalid_argument if [bound <= 0]. *)
@@ -14,6 +16,7 @@ val int : t -> int -> int
 (** Uniform float in [\[0, bound)]. *)
 val float : t -> float -> float
 
+(** Fair coin flip. *)
 val bool : t -> bool
 
 (** Derive an independent stream (for per-node generators). *)

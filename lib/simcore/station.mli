@@ -7,6 +7,7 @@
 
 type t
 
+(** An idle station serving jobs on the given engine's clock. *)
 val create : Engine.t -> t
 
 (** [submit t ~service k] enqueues a job needing [service] ms of the

@@ -1,5 +1,10 @@
-(** Measurement collection: tallies, counters and (x, y) series. *)
+(** Measurement collection: tallies, counters and (x, y) series.
 
+    These are the simulator's internal bookkeeping primitives; the
+    user-facing export path is the labeled registry of
+    [Asvm_obs.Metrics]. *)
+
+(** Moments of a sample set, as computed by {!Tally.summary}. *)
 type summary = {
   n : int;
   mean : float;
@@ -9,6 +14,7 @@ type summary = {
   total : float;
 }
 
+(** One-line rendering: count, mean, bounds, standard deviation. *)
 val pp_summary : Format.formatter -> summary -> unit
 
 (** Streaming tally of float samples (Welford's algorithm). *)
@@ -16,10 +22,18 @@ module Tally : sig
   type t
 
   val create : unit -> t
+
+  (** Fold one sample into the running moments. *)
   val add : t -> float -> unit
+
   val count : t -> int
+
+  (** 0 when empty. *)
   val mean : t -> float
+
   val total : t -> float
+
+  (** All moments at once. *)
   val summary : t -> summary
 end
 
@@ -28,8 +42,14 @@ module Counters : sig
   type t
 
   val create : unit -> t
+
+  (** Add [by] (default 1); the counter springs into existence at 0. *)
   val incr : ?by:int -> t -> string -> unit
+
+  (** 0 for a name never incremented. *)
   val get : t -> string -> int
+
+  (** All counters, sorted by name. *)
   val to_list : t -> (string * int) list
 end
 
@@ -38,7 +58,10 @@ module Histogram : sig
   type t
 
   val create : unit -> t
+
+  (** Record one sample. *)
   val add : t -> float -> unit
+
   val count : t -> int
 
   (** [percentile t p] for [p] in [\[0, 100\]]; linear interpolation
@@ -46,6 +69,7 @@ module Histogram : sig
       out of range. *)
   val percentile : t -> float -> float
 
+  (** The 50th percentile. *)
   val median : t -> float
 end
 
@@ -53,9 +77,15 @@ end
 module Series : sig
   type t
 
+  (** A named, empty series. *)
   val create : string -> t
+
   val name : t -> string
+
+  (** Append one point. *)
   val add : t -> x:float -> y:float -> unit
+
+  (** Points in insertion order. *)
   val points : t -> (float * float) list
 
   (** Least-squares linear fit [(intercept, slope)] — used to extract the

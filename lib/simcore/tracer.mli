@@ -1,10 +1,13 @@
 (** Bounded event tracing for protocol monitoring.
 
     A ring buffer of timestamped events, cheap enough to leave compiled
-    in: emitting to an absent tracer is a no-op. The ASVM/XMM layers
-    emit one event per protocol message and per ownership transition,
-    giving the system- and application-level monitoring the paper's
-    authors built for the Paragon. *)
+    in: emitting to an absent tracer is a no-op.
+
+    {b Deprecated in favour of [Asvm_obs.Trace]}: the protocol layers
+    now emit structured events (typed message/ownership variants, JSONL
+    export) through the observability library rather than the free-form
+    strings of this module.  This module remains for generic string
+    tracing in small tools; new code should use [Asvm_obs.Trace]. *)
 
 type event = {
   time : float;  (** simulated ms *)

@@ -24,6 +24,8 @@ let default_config =
 
 let page_bytes = 8192
 
+module Metrics = Asvm_obs.Metrics
+
 type 'msg t = {
   net : Network.t;
   config : config;
@@ -31,9 +33,10 @@ type 'msg t = {
   reserved : int array;
   mutable messages : int;
   mutable page_messages : int;
+  metrics : Metrics.Registry.t option;
 }
 
-let create net config =
+let create ?metrics net config =
   let n = Asvm_mesh.Topology.nodes (Network.topology net) in
   {
     net;
@@ -42,16 +45,24 @@ let create net config =
     reserved = Array.make n 0;
     messages = 0;
     page_messages = 0;
+    metrics;
   }
 
 let register t ~node handler = t.handlers.(node) <- Some handler
 
 let debug = Sys.getenv_opt "STS_DEBUG" <> None
 
+(* current credit-pool pressure, summed over nodes *)
+let buffers_gauge t delta =
+  match t.metrics with
+  | None -> ()
+  | Some m -> Metrics.Gauge.add (Metrics.Registry.gauge m "sts.buffers_reserved") delta
+
 let reserve_buffer t ~node =
   if t.reserved.(node) >= t.config.page_buffers then false
   else begin
     t.reserved.(node) <- t.reserved.(node) + 1;
+    buffers_gauge t 1.;
     if debug && node = 0 then
       Printf.eprintf "[sts] reserve node=%d -> %d\n%!" node t.reserved.(node);
     true
@@ -60,6 +71,7 @@ let reserve_buffer t ~node =
 let release_buffer t ~node =
   if t.reserved.(node) <= 0 then failwith "Sts.release_buffer: pool underflow";
   t.reserved.(node) <- t.reserved.(node) - 1;
+  buffers_gauge t (-1.);
   if debug && node = 0 then
     Printf.eprintf "[sts] release node=%d -> %d\n%!" node t.reserved.(node)
 
@@ -82,6 +94,13 @@ let send t ~src ~dst ?(carries_page = false) msg =
   let c = t.config in
   let extra = if carries_page then c.page_extra_ms else 0. in
   let bytes = c.header_bytes + if carries_page then page_bytes else 0 in
+  (match t.metrics with
+  | None -> ()
+  | Some m ->
+    Metrics.Counter.incr
+      (Metrics.Registry.counter m "sts.messages"
+         ~labels:[ ("page", string_of_bool carries_page) ]);
+    Metrics.Counter.incr ~by:bytes (Metrics.Registry.counter m "sts.bytes"));
   Network.send t.net ~src ~dst ~bytes ~sw_send:(c.sw_send_ms +. extra)
     ~sw_recv:(c.sw_recv_ms +. extra)
     (fun () -> handler msg)

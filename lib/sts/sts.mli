@@ -22,7 +22,12 @@ val default_config : config
 
 type 'msg t
 
-val create : Asvm_mesh.Network.t -> config -> 'msg t
+(** [create ?metrics net config] builds a transport over [net].  When
+    [metrics] is given, every send bumps the [sts.messages] (labeled
+    [page=true|false]) and [sts.bytes] counters, and the credit pool
+    is mirrored in the [sts.buffers_reserved] gauge (summed over
+    nodes). *)
+val create : ?metrics:Asvm_obs.Metrics.Registry.t -> Asvm_mesh.Network.t -> config -> 'msg t
 
 (** Install the per-node message handler. Must be called once per node
     before any [send] targets it. *)

@@ -9,6 +9,7 @@ type result = {
   mean_fault_ms : float;
   total_ms : float;
   faults : int;
+  metrics : Asvm_obs.Metrics.snapshot;
 }
 
 let measure ~mm ~chain ?(pages = 16) () =
@@ -57,6 +58,7 @@ let measure ~mm ~chain ?(pages = 16) () =
     mean_fault_ms = Stats.Tally.mean tally;
     total_ms = Cluster.now cl -. t_start;
     faults = pages;
+    metrics = Cluster.metrics_snapshot cl;
   }
 
 let figure11 ~mm ~chains ?(pages = 16) () =

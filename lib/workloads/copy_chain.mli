@@ -11,6 +11,7 @@ type result = {
   mean_fault_ms : float;
   total_ms : float;
   faults : int;
+  metrics : Asvm_obs.Metrics.snapshot;  (** end-of-run registry snapshot *)
 }
 
 val measure :

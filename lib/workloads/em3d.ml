@@ -14,6 +14,7 @@ type result = {
   seconds : float;
   faults : int;
   protocol_messages : int;
+  metrics : Asvm_obs.Metrics.snapshot;
 }
 
 let cell_bytes = 224
@@ -201,6 +202,7 @@ let run ~mm ?memory_pages ?(internode_paging = true) ?audit params =
     seconds = (Cluster.now cl -. !t_start) /. 1000.;
     faults;
     protocol_messages = Cluster.protocol_messages cl;
+    metrics = Cluster.metrics_snapshot cl;
   }
 
 (* ------------------------------------------------------------------ *)

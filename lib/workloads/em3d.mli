@@ -31,6 +31,9 @@ type result = {
   seconds : float;  (** simulated execution time of the iteration loop *)
   faults : int;
   protocol_messages : int;
+  metrics : Asvm_obs.Metrics.snapshot;
+      (** end-of-run registry snapshot (protocol counters, network bytes,
+          engine profiling gauges) *)
 }
 
 (** Bytes per cell and cells per 8 KB page, per the paper. *)

@@ -2,6 +2,7 @@ module Cluster = Asvm_cluster.Cluster
 module Config = Asvm_cluster.Config
 module Prot = Asvm_machvm.Prot
 module Address_map = Asvm_machvm.Address_map
+module Metrics = Asvm_obs.Metrics
 
 type fault_kind =
   | Write_fault of { read_copies : int }
@@ -18,9 +19,15 @@ let describe = function
   | Read_fault { nth_reader = n } ->
     Printf.sprintf "read fault, faulting node is reader #%d" n
 
+type instrumented = {
+  latency_ms : float;
+  fault_metrics : Metrics.snapshot;
+  run_metrics : Metrics.snapshot;
+}
+
 (* Node roles: 0 = I/O node (pager; XMM manager too), 1 = initializer,
    2.. = additional readers, last = faulting node. *)
-let measure ?(nodes = 72) ~mm kind =
+let measure_instrumented ?(nodes = 72) ?trace_out ~mm kind =
   let needed =
     match kind with
     | Write_fault { read_copies } -> read_copies + 2
@@ -29,6 +36,7 @@ let measure ?(nodes = 72) ~mm kind =
   in
   if nodes < needed then invalid_arg "Fault_micro.measure: too few nodes";
   let config = Config.with_mm (Config.default ~nodes) mm in
+  let config = { config with Config.trace_out } in
   let cl = Cluster.create config in
   let sharers = List.init nodes Fun.id in
   let obj = Cluster.create_shared_object cl ~size_pages:4 ~sharers () in
@@ -71,12 +79,22 @@ let measure ?(nodes = 72) ~mm kind =
   done;
   if faulter_has_copy then sync_touch faulter Prot.Read_only;
   (* the measured fault *)
+  let before = Cluster.metrics_snapshot cl in
   let t0 = Cluster.now cl in
   let done_ = ref false in
   Cluster.touch cl ~task:(task faulter) ~vpage:0 ~want (fun () -> done_ := true);
   Cluster.run cl;
   assert !done_;
-  Cluster.now cl -. t0
+  let latency_ms = Cluster.now cl -. t0 in
+  let run_metrics = Cluster.metrics_snapshot cl in
+  {
+    latency_ms;
+    fault_metrics = Metrics.diff ~before ~after:run_metrics;
+    run_metrics;
+  }
+
+let measure ?nodes ~mm kind =
+  (measure_instrumented ?nodes ~mm kind).latency_ms
 
 let table1 ?(nodes = 72) () =
   let rows =

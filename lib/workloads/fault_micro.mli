@@ -18,6 +18,27 @@ type fault_kind =
 
 val describe : fault_kind -> string
 
+(** One measured fault with its protocol-level evidence. *)
+type instrumented = {
+  latency_ms : float;  (** simulated milliseconds for the measured fault *)
+  fault_metrics : Asvm_obs.Metrics.snapshot;
+      (** counter deltas over the measured fault only ({!Asvm_obs.Metrics.diff}
+          of the registry around it) — e.g. [asvm.msgs.ownership_transfer]
+          sums to 3 for an ASVM write fault, 5 under XMM (paper Table 1) *)
+  run_metrics : Asvm_obs.Metrics.snapshot;
+      (** full end-of-run snapshot, setup traffic and engine gauges included *)
+}
+
+(** Like {!measure}, returning the registry evidence alongside the
+    latency. [trace_out] streams the whole run's trace (setup included)
+    as JSONL to that file. *)
+val measure_instrumented :
+  ?nodes:int ->
+  ?trace_out:string ->
+  mm:Asvm_cluster.Config.mm ->
+  fault_kind ->
+  instrumented
+
 (** Latency in simulated milliseconds of one such fault. *)
 val measure :
   ?nodes:int -> mm:Asvm_cluster.Config.mm -> fault_kind -> float

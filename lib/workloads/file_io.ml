@@ -9,6 +9,7 @@ type result = {
   per_node_mb_s : float;
   total_ms : float;
   pager_supplies : int;
+  metrics : Asvm_obs.Metrics.snapshot;
 }
 
 let page_bytes = 8192.
@@ -81,6 +82,7 @@ let write_test ~mm ~nodes ?(file_mb = 4) ?(stripes = 1) () =
     total_ms = Cluster.now cl -. t0;
     pager_supplies =
       List.fold_left (fun acc p -> acc + Store_pager.supplies p) 0 pagers;
+    metrics = Cluster.metrics_snapshot cl;
   }
 
 let read_test ~mm ~nodes ?(file_mb = 4) ?(stripes = 1) () =
@@ -103,6 +105,7 @@ let read_test ~mm ~nodes ?(file_mb = 4) ?(stripes = 1) () =
     total_ms = Cluster.now cl -. t0;
     pager_supplies =
       List.fold_left (fun acc p -> acc + Store_pager.supplies p) 0 pagers;
+    metrics = Cluster.metrics_snapshot cl;
   }
 
 let table2 ~node_counts ?(file_mb = 4) () =

@@ -16,6 +16,7 @@ type result = {
   per_node_mb_s : float;  (** effective rate seen by each node *)
   total_ms : float;
   pager_supplies : int;  (** pages the file pager actually served *)
+  metrics : Asvm_obs.Metrics.snapshot;  (** end-of-run registry snapshot *)
 }
 
 (** [stripes > 1] spreads the file over several pager tasks served

@@ -5,6 +5,8 @@ module Contents = Asvm_machvm.Contents
 module Emmi = Asvm_machvm.Emmi
 module Ids = Asvm_machvm.Ids
 module Store_pager = Asvm_pager.Store_pager
+module Metrics = Asvm_obs.Metrics
+module Trace = Asvm_obs.Trace
 
 (* XMMI: the XMM-internal protocol, an extension of EMMI carried over
    NORMA-IPC. *)
@@ -77,13 +79,21 @@ type t = {
   ipc : msg Ipc.t;
   vms : Vm.t array;
   words_per_page : int;
+  header_bytes : int;
   mutable ports : msg Ipc.port array;
   managers : (Ids.obj_id, mstate) Hashtbl.t;
   exports : (Ids.obj_id, export) Hashtbl.t;
   pools : fork_pool array;
   conts : (int, unit -> unit) Hashtbl.t;
   mutable next_cont : int;
+  metrics : Metrics.Registry.t;
+  trace : Trace.t option;
+  (* (obj, page, origin) -> simulated time the fault left the kernel;
+     feeds the xmm.fault_ms latency histogram *)
+  fault_starts : (Ids.obj_id * int * int, float) Hashtbl.t;
 }
+
+let now t = Asvm_simcore.Engine.now (Vm.engine t.vms.(0))
 
 let node_state ms node =
   match Hashtbl.find_opt ms.m_state node with
@@ -108,16 +118,80 @@ let manager_for t obj =
   | Some ms -> ms
   | None -> failwith (Printf.sprintf "Xmm: obj#%d has no manager" obj)
 
-let send t ~src ~dst_node ?carries_page msg =
+let class_of_msg = function
+  | Request _ -> "request"
+  | Lock _ -> "lock"
+  | Lock_done _ -> "lock_done"
+  | Supply _ -> "supply"
+  | Grant _ -> "grant"
+  | Returned _ -> "returned"
+  | Fork_request _ -> "fork_request"
+  | Fork_supply _ -> "fork_supply"
+  | Pager_hop _ -> "pager_hop"
+
+(* Default accounting group per message (same buckets as the ASVM
+   side, so the paper's Table 1 counts can be compared label for
+   label).  A [Lock] participates in an ownership transfer when it
+   recalls the current writer's copy ([clean = true], XMM's
+   clean-at-pager step) but is an invalidation when it merely flushes
+   read copies.  [Lock_done] and [Pager_hop] depend on what they
+   answer, so their callers pass the group explicitly. *)
+let group_of_msg = function
+  | Request _ | Supply _ | Grant _ | Lock_done _ -> "transfer"
+  | Lock { clean; _ } -> if clean then "transfer" else "invalidation"
+  | Returned _ -> "pageout"
+  | Fork_request _ | Fork_supply _ -> "copy"
+  | Pager_hop _ -> "pager"
+
+let page_bytes = 8192
+
+let send t ~src ~dst_node ?carries_page ?cls ?group msg =
+  let page = carries_page = Some true in
+  let cls = match cls with Some c -> c | None -> class_of_msg msg in
+  let group = match group with Some g -> g | None -> group_of_msg msg in
+  let contents =
+    if not page then "none" else if src = dst_node then "local" else "wire"
+  in
+  Metrics.Counter.incr
+    (Metrics.Registry.counter t.metrics "xmm.msgs"
+       ~labels:[ ("class", cls); ("group", group); ("contents", contents) ]);
+  if group = "transfer" then
+    Metrics.Counter.incr
+      (Metrics.Registry.counter t.metrics "xmm.msgs.ownership_transfer"
+         ~labels:[ ("msg", cls); ("contents", contents) ]);
+  Trace.emit t.trace ~time:(now t) ~node:src
+    (Trace.Msg
+       {
+         proto = "xmm";
+         cls;
+         group;
+         src;
+         dst = dst_node;
+         carries_page = page;
+         bytes = (t.header_bytes + if page then page_bytes else 0);
+       });
   Ipc.send t.ipc ~src ~dst:t.ports.(dst_node) ?carries_page msg
 
 (* One hop of local IPC between the kernel-resident XMM stack and the
-   user-level pager task on the same node. *)
-let pager_hop t ~node ~carries_page k =
+   user-level pager task on the same node.  [cls]/[group] name the
+   Mach pager-interface call the hop models (data_request /
+   data_supply / data_write). *)
+let pager_hop t ~node ~carries_page ~cls ~group k =
   let id = t.next_cont in
   t.next_cont <- id + 1;
   Hashtbl.add t.conts id k;
-  send t ~src:node ~dst_node:node ~carries_page (Pager_hop { cont = id })
+  send t ~src:node ~dst_node:node ~carries_page ~cls ~group
+    (Pager_hop { cont = id })
+
+let observe_fault t ~obj ~page ~origin ~write =
+  match Hashtbl.find_opt t.fault_starts (obj, page, origin) with
+  | None -> ()
+  | Some t0 ->
+    Hashtbl.remove t.fault_starts (obj, page, origin);
+    Metrics.Histogram.observe
+      (Metrics.Registry.histogram t.metrics "xmm.fault_ms"
+         ~labels:[ ("kind", if write then "ownership" else "read") ])
+      (now t -. t0)
 
 (* ------------------------------------------------------------------ *)
 (* Manager-side request processing                                    *)
@@ -170,11 +244,17 @@ let rec run_request t ms ~origin ~page ~desired ~upgrade =
   let obj = ms.m_obj in
   make_coherent t ms ~origin ~page ~desired (fun () ->
       flush_readers t ms ~origin ~page ~desired (fun () ->
+          let record_owner () =
+            if Prot.equal desired Prot.Read_write then
+              Trace.emit t.trace ~time:(now t) ~node:ms.m_node
+                (Trace.Ownership { obj; page; owner = origin })
+          in
           if upgrade && Bytes.get (node_state ms origin) page <> st_invalid then begin
             (* origin already holds the data: grant without contents *)
             Bytes.set (node_state ms origin) page
               (if Prot.equal desired Prot.Read_write then st_write else st_read);
-            if origin = ms.m_node then
+            record_owner ();
+            if origin = ms.m_node then begin
               Vm.lock_request t.vms.(origin) ~obj ~page
                 ~op:
                   {
@@ -182,7 +262,9 @@ let rec run_request t ms ~origin ~page ~desired ~upgrade =
                     clean = false;
                     mode = Emmi.Lock_plain;
                   }
-                ~reply:(fun _ -> ())
+                ~reply:(fun _ -> ());
+              observe_fault t ~obj ~page ~origin ~write:true
+            end
             else send t ~src:ms.m_node ~dst_node:origin (Grant { obj; page });
             unbusy t ms page
           end
@@ -191,17 +273,23 @@ let rec run_request t ms ~origin ~page ~desired ~upgrade =
                the origin as the page's only user. Local IPC to the
                user-level pager task: request out, supply (with page)
                back. *)
-            pager_hop t ~node:ms.m_node ~carries_page:false (fun () ->
+            pager_hop t ~node:ms.m_node ~carries_page:false
+              ~cls:"pager_request" ~group:"pager" (fun () ->
                 Store_pager.request ms.m_pager ~obj ~page
                   ~words:t.words_per_page (fun contents ->
-                    pager_hop t ~node:ms.m_node ~carries_page:true (fun () ->
+                    pager_hop t ~node:ms.m_node ~carries_page:true
+                      ~cls:"pager_supply" ~group:"pager" (fun () ->
                         Bytes.set (node_state ms origin) page
                           (if Prot.equal desired Prot.Read_write then st_write
                            else st_read);
-                        if origin = ms.m_node then
+                        record_owner ();
+                        if origin = ms.m_node then begin
                           (* kernel and manager co-resident: plain EMMI *)
                           Vm.data_supply t.vms.(origin) ~obj ~page ~contents
-                            ~lock:desired ~mode:Emmi.Supply_normal
+                            ~lock:desired ~mode:Emmi.Supply_normal;
+                          observe_fault t ~obj ~page ~origin
+                            ~write:(Prot.equal desired Prot.Read_write)
+                        end
                         else
                           send t ~src:ms.m_node ~dst_node:origin
                             ~carries_page:true
@@ -242,9 +330,11 @@ let manager_lock_done t ms ~page ~contents =
   match contents with
   | Some c ->
     (* a dirty copy came back: make it coherent at the pager (one local
-       IPC carrying the page); the disk write is paid the first time
-       the page is cleaned *)
-    pager_hop t ~node:ms.m_node ~carries_page:true (fun () ->
+       IPC carrying the page — Mach's memory_object_data_write, part of
+       the transfer's critical path); the disk write is paid the first
+       time the page is cleaned *)
+    pager_hop t ~node:ms.m_node ~carries_page:true ~cls:"pager_write"
+      ~group:"transfer" (fun () ->
         if Bytes.get ms.m_cleaned page = '\000' then begin
           Bytes.set ms.m_cleaned page '\001';
           Store_pager.clean ms.m_pager ~obj:ms.m_obj ~page ~contents:c
@@ -281,6 +371,7 @@ let handle_lock t ~node ~obj ~page ~max_access ~clean =
       in
       send t ~src:node ~dst_node:ms.m_node
         ~carries_page:(Option.is_some contents)
+        ~group:(if clean then "transfer" else "invalidation")
         (Lock_done { node; obj; page; contents }))
 
 (* ------------------------------------------------------------------ *)
@@ -340,12 +431,15 @@ let handle t node msg =
     manager_lock_done t (manager_for t obj) ~page ~contents
   | Supply { obj; page; contents; lock } ->
     Vm.data_supply t.vms.(node) ~obj ~page ~contents ~lock
-      ~mode:Emmi.Supply_normal
+      ~mode:Emmi.Supply_normal;
+    observe_fault t ~obj ~page ~origin:node
+      ~write:(Prot.equal lock Prot.Read_write)
   | Grant { obj; page } ->
     Vm.lock_request t.vms.(node) ~obj ~page
       ~op:
         { Emmi.max_access = Prot.Read_write; clean = false; mode = Emmi.Lock_plain }
-      ~reply:(fun _ -> ())
+      ~reply:(fun _ -> ());
+    observe_fault t ~obj ~page ~origin:node ~write:true
   | Returned { node = from; obj; page; contents; dirty } ->
     manager_returned t (manager_for t obj) ~node:from ~page ~contents ~dirty
   | Fork_request { dst_node; dst_obj; page } ->
@@ -360,14 +454,19 @@ let handle t node msg =
       k ()
     | None -> failwith "Xmm: dangling pager continuation")
 
-let create ~net ~ipc_config ~vms ~words_per_page ~fork_threads =
+let create ~net ~ipc_config ~vms ~words_per_page ~fork_threads ?metrics ?trace
+    () =
   let ipc = Ipc.create net ipc_config in
   let n = Array.length vms in
+  let metrics =
+    match metrics with Some m -> m | None -> Metrics.Registry.create ()
+  in
   let t =
     {
       ipc;
       vms;
       words_per_page;
+      header_bytes = ipc_config.Ipc.header_bytes;
       ports = [||];
       managers = Hashtbl.create 16;
       exports = Hashtbl.create 16;
@@ -376,6 +475,9 @@ let create ~net ~ipc_config ~vms ~words_per_page ~fork_threads =
             { limit = fork_threads; in_use = 0; waiting = Queue.create () });
       conts = Hashtbl.create 32;
       next_cont = 0;
+      metrics;
+      trace;
+      fault_starts = Hashtbl.create 16;
     }
   in
   t.ports <-
@@ -407,6 +509,8 @@ let register_shared_object t ~obj ~size_pages ~manager_node ~pager ~sharers =
       let local = node = manager_node in
       let engine = Vm.engine t.vms.(node) in
       let request ~page ~desired ~upgrade =
+        Hashtbl.replace t.fault_starts (obj, page, node)
+          (Asvm_simcore.Engine.now engine);
         if local then
           (* the faulting kernel hosts the manager: no NORMA involved *)
           Asvm_simcore.Engine.schedule engine ~delay:0.05 (fun () ->

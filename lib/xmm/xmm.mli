@@ -30,13 +30,24 @@ type t
 
 (** [create ~net ~config ~vms ~words_per_page] builds the XMM subsystem
     for a cluster whose node [i] runs [vms.(i)]. [fork_threads] bounds
-    each node's internal-pager thread pool. *)
+    each node's internal-pager thread pool.
+
+    [metrics] receives the baseline's counter families — [xmm.msgs]
+    (labels [class]/[group]/[contents]) and
+    [xmm.msgs.ownership_transfer] — and the [xmm.fault_ms] latency
+    histogram, mirroring the ASVM side so the paper's Table 1
+    message-count comparison (5 messages / 2 with contents vs. ASVM's
+    3 / 1) can be asserted from the registry.  [trace] receives
+    structured message and ownership events (proto ["xmm"]). *)
 val create :
   net:Asvm_mesh.Network.t ->
   ipc_config:Asvm_norma.Ipc.config ->
   vms:Vm.t array ->
   words_per_page:int ->
   fork_threads:int ->
+  ?metrics:Asvm_obs.Metrics.Registry.t ->
+  ?trace:Asvm_obs.Trace.t ->
+  unit ->
   t
 
 val ipc_messages : t -> int
