@@ -5,6 +5,8 @@
    Run everything:      dune exec bench/main.exe
    One experiment:      dune exec bench/main.exe -- table1
    Quick mode:          dune exec bench/main.exe -- --quick table3
+   Parallel cells:      dune exec bench/main.exe -- table3 --jobs 4
+   Harness speed:       dune exec bench/main.exe -- selfbench
    Microbenchmarks:     dune exec bench/main.exe -- bechamel *)
 
 module Config = Asvm_cluster.Config
@@ -14,6 +16,8 @@ module File_io = Asvm_workloads.File_io
 module Em3d = Asvm_workloads.Em3d
 module Stats = Asvm_simcore.Stats
 module Metrics = Asvm_obs.Metrics
+module Runner = Asvm_runner.Runner
+module Json = Asvm_obs.Json
 
 let pf = Format.printf
 
@@ -26,9 +30,9 @@ let rule () = pf "%s@." (String.make 78 '-')
 (* Table 1                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let table1 () =
+let table1 ?jobs () =
   header "Table 1: page-fault latencies (ms) -- measured vs paper";
-  let rows = Fault_micro.table1 () in
+  let rows = Fault_micro.table1 ?jobs () in
   pf "%-52s %8s %8s | %8s %8s@." "fault type" "ASVM" "XMM" "ASVM'96" "XMM'96";
   rule ();
   List.iter2
@@ -80,11 +84,11 @@ let table1_messages () =
 (* Figure 10                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let figure10 () =
+let figure10 ?jobs () =
   header
     "Figure 10: write-fault latency (ms) vs number of nodes with read copies";
   let readers = [ 1; 2; 4; 8; 16; 32; 64 ] in
-  let pts = Fault_micro.figure10 ~readers () in
+  let pts = Fault_micro.figure10 ?jobs ~readers () in
   pf "%8s %12s %14s %12s %14s@." "readers" "ASVM write" "ASVM upgrade"
     "XMM write" "XMM upgrade";
   rule ();
@@ -125,11 +129,11 @@ let figure10 () =
 (* Figure 11                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let figure11 () =
+let figure11 ?jobs () =
   header "Figure 11: inherited-memory fault latency vs copy-chain length";
   let chains = [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
-  let asvm, (alb, ala) = Copy_chain.figure11 ~mm:Config.Mm_asvm ~chains () in
-  let xmm, (xlb, xla) = Copy_chain.figure11 ~mm:Config.Mm_xmm ~chains () in
+  let asvm, (alb, ala) = Copy_chain.figure11 ?jobs ~mm:Config.Mm_asvm ~chains () in
+  let xmm, (xlb, xla) = Copy_chain.figure11 ?jobs ~mm:Config.Mm_xmm ~chains () in
   pf "%8s %14s %14s@." "chain" "ASVM (ms)" "XMM (ms)";
   rule ();
   List.iter2
@@ -167,10 +171,10 @@ let figure11 () =
 (* Table 2                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let table2 () =
+let table2 ?jobs () =
   header "Table 2: mapped-file transfer rates (MB/s per node) -- 4 MB file";
   let counts = [ 1; 2; 4; 8; 16; 32; 64 ] in
-  let rows = File_io.table2 ~node_counts:counts () in
+  let rows = File_io.table2 ?jobs ~node_counts:counts () in
   pf "%6s | %10s %10s %10s %10s | %s@." "nodes" "ASVM wr" "XMM wr" "ASVM rd"
     "XMM rd" "paper (aw/xw/ar/xr)";
   rule ();
@@ -213,30 +217,43 @@ let table2 () =
 
 let memory_pages_16mb = Asvm_machvm.Vm_config.default.memory_pages
 
-let table3 ~iterations () =
+let table3 ~iterations ?jobs () =
   header
     (Printf.sprintf
        "Table 3: EM3D execution times (seconds, %d iterations scaled to 100)"
        iterations);
   let scale = 100. /. float_of_int iterations in
-  let run_one ~mm ~cells ~nodes =
-    if nodes = 1 then begin
+  let cell_config ~mm ~cells ~nodes =
+    if nodes = 1 then
       (* sequential runs used a large-memory node (the paper's footnote) *)
-      let memory_pages = Em3d.data_pages ~cells + 64 in
-      let r =
-        Em3d.run ~mm ~memory_pages
-          { (Em3d.default_params ~cells ~nodes) with iterations }
-      in
-      Some (r.seconds *. scale)
-    end
+      Some (mm, Some (Em3d.data_pages ~cells + 64),
+            { (Em3d.default_params ~cells ~nodes) with iterations })
     else if not (Em3d.fits ~cells ~nodes ~memory_pages_per_node:memory_pages_16mb)
     then None
-    else
-      let r =
-        Em3d.run ~mm { (Em3d.default_params ~cells ~nodes) with iterations }
-      in
-      Some (r.seconds *. scale)
+    else Some (mm, None, { (Em3d.default_params ~cells ~nodes) with iterations })
   in
+  (* flatten every fitting (cells, nodes, mm) cell of the table into one
+     batch for the pool; non-fitting cells stay "**" and never run *)
+  let keyed =
+    List.concat_map
+      (fun (cells, paper_rows) ->
+        List.concat_map
+          (fun (nodes, _, _) ->
+            List.filter_map
+              (fun mm ->
+                Option.map
+                  (fun cfg -> ((cells, nodes, mm), cfg))
+                  (cell_config ~mm ~cells ~nodes))
+              [ Config.Mm_asvm; Config.Mm_xmm ])
+          paper_rows)
+      Paper.table3
+  in
+  let results = Em3d.sweep ?jobs (List.map snd keyed) in
+  let seconds = Hashtbl.create 64 in
+  List.iter2
+    (fun (key, _) (r : Em3d.result) ->
+      Hashtbl.replace seconds key (r.seconds *. scale))
+    keyed results;
   List.iter
     (fun (cells, paper_rows) ->
       pf "@.EM3D %d cells%s@." cells
@@ -250,9 +267,10 @@ let table3 ~iterations () =
             | Some s -> Printf.sprintf "%10.1f" s
             | None -> "        **"
           in
-          let ours_a = run_one ~mm:Config.Mm_asvm ~cells ~nodes in
-          let ours_x = run_one ~mm:Config.Mm_xmm ~cells ~nodes in
-          pf "%6d | %12s %12s | %12s %12s@." nodes (cell ours_a) (cell ours_x)
+          let ours mm = Hashtbl.find_opt seconds (cells, nodes, mm) in
+          pf "%6d | %12s %12s | %12s %12s@." nodes
+            (cell (ours Config.Mm_asvm))
+            (cell (ours Config.Mm_xmm))
             (cell pa) (cell px))
         paper_rows;
       rule ())
@@ -580,36 +598,194 @@ let bechamel () =
   rule ()
 
 (* ------------------------------------------------------------------ *)
+(* Selfbench: wall-clock speed of the harness itself                  *)
+(* ------------------------------------------------------------------ *)
+
+(* How fast does the simulator regenerate the paper's numbers?  A fixed
+   batch of representative cells (one per table/figure family) runs
+   once sequentially and once on the pool; per-cell wall clock, total
+   events/second (off the engine.events gauge each cell's snapshot
+   carries) and the speedup go to stdout and BENCH_selfbench.json.
+   Wall clock is Unix.gettimeofday: Sys.time sums CPU across domains
+   and would hide any parallel speedup. *)
+
+let selfbench_cells ~quick =
+  let em3d_cells = if quick then 8_000 else 32_000 in
+  let em3d_iters = if quick then 3 else 10 in
+  let file_mb = if quick then 1 else 4 in
+  let chain = if quick then 4 else 8 in
+  let fault label mm kind =
+    ( label,
+      fun () ->
+        (Fault_micro.measure_instrumented ~mm kind).Fault_micro.run_metrics )
+  in
+  let em3d label mm =
+    ( label,
+      fun () ->
+        (Em3d.run ~mm
+           {
+             (Em3d.default_params ~cells:em3d_cells ~nodes:8) with
+             iterations = em3d_iters;
+           })
+          .Em3d.metrics )
+  in
+  [
+    fault "table1/asvm_write_fault" Config.Mm_asvm
+      (Fault_micro.Write_fault { read_copies = 2 });
+    fault "table1/xmm_write_fault" Config.Mm_xmm
+      (Fault_micro.Write_fault { read_copies = 2 });
+    fault "table1/asvm_read_fault" Config.Mm_asvm
+      (Fault_micro.Read_fault { nth_reader = 2 });
+    fault "table1/xmm_read_fault" Config.Mm_xmm
+      (Fault_micro.Read_fault { nth_reader = 2 });
+    ( "figure11/asvm_chain",
+      fun () ->
+        (Copy_chain.measure ~mm:Config.Mm_asvm ~chain ()).Copy_chain.metrics );
+    ( "figure11/xmm_chain",
+      fun () ->
+        (Copy_chain.measure ~mm:Config.Mm_xmm ~chain ()).Copy_chain.metrics );
+    ( "table2/asvm_read_16",
+      fun () ->
+        (File_io.read_test ~mm:Config.Mm_asvm ~nodes:16 ~file_mb ())
+          .File_io.metrics );
+    ( "table2/xmm_write_16",
+      fun () ->
+        (File_io.write_test ~mm:Config.Mm_xmm ~nodes:16 ~file_mb ())
+          .File_io.metrics );
+    em3d "table3/asvm_em3d" Config.Mm_asvm;
+    em3d "table3/xmm_em3d" Config.Mm_xmm;
+  ]
+
+let engine_events snap =
+  match Metrics.find snap "engine.events" [] with
+  | Some (Metrics.Gauge_v v) -> int_of_float v
+  | _ -> 0
+
+let selfbench_run ~jobs cells =
+  let t0 = Unix.gettimeofday () in
+  let rows =
+    Runner.run ~jobs
+      (List.map
+         (fun (name, f) () ->
+           let c0 = Unix.gettimeofday () in
+           let snap = f () in
+           (name, engine_events snap, Unix.gettimeofday () -. c0))
+         cells)
+  in
+  (Unix.gettimeofday () -. t0, rows)
+
+let selfbench ~quick ?jobs () =
+  header "Selfbench: harness wall-clock speed, sequential vs parallel";
+  let cells = selfbench_cells ~quick in
+  let jobs = match jobs with Some j -> j | None -> Runner.default_jobs () in
+  let seq_wall, seq_rows = selfbench_run ~jobs:1 cells in
+  let par_wall, par_rows = selfbench_run ~jobs cells in
+  let events rows = List.fold_left (fun acc (_, ev, _) -> acc + ev) 0 rows in
+  let total_events = events seq_rows in
+  (* a free determinism check: both runs simulated the same events *)
+  if events par_rows <> total_events then
+    failwith "selfbench: parallel run simulated a different event count";
+  let rate wall = float_of_int total_events /. wall in
+  pf "%-28s %12s %12s@." "cell" "events" "wall (s)";
+  rule ();
+  List.iter (fun (name, ev, w) -> pf "%-28s %12d %12.3f@." name ev w) seq_rows;
+  rule ();
+  let cores = Runner.default_jobs () in
+  let speedup = seq_wall /. par_wall in
+  pf "sequential (jobs=1): %8.3f s   %12.0f events/s@." seq_wall
+    (rate seq_wall);
+  pf "parallel   (jobs=%d): %8.3f s   %12.0f events/s@." jobs par_wall
+    (rate par_wall);
+  pf "speedup %.2fx with %d jobs (%d recommended domains on this host)@."
+    speedup jobs cores;
+  let cell_json (name, ev, w) =
+    Json.Obj
+      [ ("name", Json.String name); ("events", Json.Int ev);
+        ("wall_s", Json.Float w) ]
+  in
+  let run_json ~jobs ~wall rows =
+    Json.Obj
+      [
+        ("jobs", Json.Int jobs);
+        ("wall_s", Json.Float wall);
+        ("events_per_s", Json.Float (rate wall));
+        ("cells", Json.List (List.map cell_json rows));
+      ]
+  in
+  let json =
+    Json.Obj
+      [
+        ("schema", Json.String "asvm.selfbench/v1");
+        ("quick", Json.Bool quick);
+        ("cores", Json.Int cores);
+        ("total_events", Json.Int total_events);
+        ("sequential", run_json ~jobs:1 ~wall:seq_wall seq_rows);
+        ("parallel", run_json ~jobs ~wall:par_wall par_rows);
+        ("speedup", Json.Float speedup);
+      ]
+  in
+  let oc = open_out "BENCH_selfbench.json" in
+  output_string oc (Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  (* read it back: a zero exit certifies the file is well-formed JSON *)
+  let ic = open_in "BENCH_selfbench.json" in
+  let contents = In_channel.input_all ic in
+  close_in ic;
+  (match Json.of_string (String.trim contents) with
+  | Ok _ -> ()
+  | Error e -> failwith ("selfbench: BENCH_selfbench.json is invalid: " ^ e));
+  pf "wrote BENCH_selfbench.json@."
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let run_selected ~quick ~metrics which =
+let run_selected ~quick ~metrics ?jobs which =
   let iterations = if quick then 10 else 100 in
   let all = which = [] in
   let want name = all || List.mem name which in
-  if want "table1" then table1 ();
+  if want "table1" then table1 ?jobs ();
   if metrics && want "table1" then table1_messages ();
-  if want "figure10" then figure10 ();
-  if want "figure11" then figure11 ();
-  if want "table2" then table2 ();
-  if want "table3" then table3 ~iterations ();
+  if want "figure10" then figure10 ?jobs ();
+  if want "figure11" then figure11 ?jobs ();
+  if want "table2" then table2 ?jobs ();
+  if want "table3" then table3 ~iterations ?jobs ();
   if want "ablation-forwarding" then ablation_forwarding ();
   if want "ablation-paging" then ablation_paging ~iterations ();
   if want "ablation-readerlist" then ablation_readerlist ();
   if want "ablation-striping" then ablation_striping ();
   if want "ablation-memory" then ablation_memory ();
-  if want "bechamel" then bechamel ()
+  if want "bechamel" then bechamel ();
+  (* explicit-only: it deliberately runs its batch twice to time it *)
+  if List.mem "selfbench" which then selfbench ~quick ?jobs ()
 
 let () =
   let quick = ref false in
   let metrics = ref false in
+  let jobs = ref None in
   let which = ref [] in
-  Array.iteri
-    (fun i arg ->
-      if i > 0 then
-        match arg with
-        | "--quick" -> quick := true
-        | "--metrics" -> metrics := true
-        | name -> which := name :: !which)
-    Sys.argv;
-  run_selected ~quick:!quick ~metrics:!metrics (List.rev !which)
+  let usage_jobs () =
+    prerr_endline "bench: --jobs expects a positive integer";
+    exit 2
+  in
+  let rec parse = function
+    | [] -> ()
+    | "--quick" :: rest ->
+      quick := true;
+      parse rest
+    | "--metrics" :: rest ->
+      metrics := true;
+      parse rest
+    | "--jobs" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some j when j >= 1 -> jobs := Some j
+      | _ -> usage_jobs ());
+      parse rest
+    | [ "--jobs" ] -> usage_jobs ()
+    | name :: rest ->
+      which := name :: !which;
+      parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  run_selected ~quick:!quick ~metrics:!metrics ?jobs:!jobs (List.rev !which)

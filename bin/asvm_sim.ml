@@ -6,7 +6,8 @@
      asvm-sim fault  --mm asvm --readers 4 --kind write
      asvm-sim chain  --mm xmm --length 6
      asvm-sim file   --mm asvm --nodes 16 --op read --mb 4
-     asvm-sim em3d   --mm asvm --nodes 32 --cells 256000 --iterations 20 *)
+     asvm-sim em3d   --mm asvm --nodes 32 --cells 256000 --iterations 20
+     asvm-sim sweep  --experiment table1 --jobs 4 *)
 
 open Cmdliner
 
@@ -217,12 +218,88 @@ let sor_cmd =
     (Cmd.info "sor" ~doc:"Strip-partitioned SOR stencil (nearest-neighbour SVM).")
     Term.(const run $ mm_term $ nodes_term $ grid_term $ iter_term)
 
+(* -------------------------------- sweep ----------------------------- *)
+
+let sweep_cmd =
+  let experiment_term =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("table1", `Table1);
+               ("figure10", `Figure10);
+               ("figure11", `Figure11);
+               ("table2", `Table2);
+             ])
+          `Table1
+      & info [ "experiment" ] ~docv:"NAME"
+          ~doc:
+            "Which sweep to run: $(b,table1), $(b,figure10), $(b,figure11) or \
+             $(b,table2).")
+  in
+  let jobs_term =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains for the cell pool (default: the recommended \
+             domain count; 1 = sequential).  Results are independent of \
+             $(docv).")
+  in
+  let run experiment jobs =
+    (match jobs with
+    | Some j when j < 1 ->
+      prerr_endline "asvm-sim: --jobs expects a positive integer";
+      exit 2
+    | _ -> ());
+    match experiment with
+    | `Table1 ->
+      Printf.printf "%-52s %8s %8s\n" "fault type" "ASVM" "XMM";
+      List.iter
+        (fun (label, asvm, xmm) ->
+          Printf.printf "%-52s %8.2f %8.2f\n" label asvm xmm)
+        (Fault_micro.table1 ?jobs ())
+    | `Figure10 ->
+      Printf.printf "%8s %12s %14s %12s %14s\n" "readers" "ASVM write"
+        "ASVM upgrade" "XMM write" "XMM upgrade";
+      List.iter
+        (fun (n, aw, au, xw, xu) ->
+          Printf.printf "%8d %12.2f %14.2f %12.2f %14.2f\n" n aw au xw xu)
+        (Fault_micro.figure10 ?jobs ~readers:[ 1; 2; 4; 8; 16; 32; 64 ] ())
+    | `Figure11 ->
+      Printf.printf "%8s %14s %14s\n" "chain" "ASVM (ms)" "XMM (ms)";
+      let chains = [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
+      let asvm, _ = Copy_chain.figure11 ?jobs ~mm:Config.Mm_asvm ~chains () in
+      let xmm, _ = Copy_chain.figure11 ?jobs ~mm:Config.Mm_xmm ~chains () in
+      List.iter2
+        (fun (a : Copy_chain.result) (x : Copy_chain.result) ->
+          Printf.printf "%8d %14.2f %14.2f\n" a.Copy_chain.chain
+            a.Copy_chain.mean_fault_ms x.Copy_chain.mean_fault_ms)
+        asvm xmm
+    | `Table2 ->
+      Printf.printf "%6s %10s %10s %10s %10s\n" "nodes" "ASVM wr" "XMM wr"
+        "ASVM rd" "XMM rd";
+      List.iter
+        (fun (n, aw, xw, ar, xr) ->
+          Printf.printf "%6d %10.2f %10.2f %10.2f %10.2f\n" n aw xw ar xr)
+        (File_io.table2 ?jobs ~node_counts:[ 1; 2; 4; 8; 16; 32; 64 ] ())
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Run a whole table/figure as a batch of independent cells on the \
+          parallel job pool.")
+    Term.(const run $ experiment_term $ jobs_term)
+
 let () =
   let doc = "ASVM multicomputer simulator (USENIX '96 reproduction)" in
   let info = Cmd.info "asvm-sim" ~version:"1.0.0" ~doc in
   match
     Cmd.eval ~catch:false
-      (Cmd.group info [ fault_cmd; chain_cmd; file_cmd; em3d_cmd; sor_cmd ])
+      (Cmd.group info
+         [ fault_cmd; chain_cmd; file_cmd; em3d_cmd; sor_cmd; sweep_cmd ])
   with
   | code -> exit code
   | exception Sys_error msg ->

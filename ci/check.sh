@@ -11,6 +11,14 @@ dune build @all
 echo "== dune runtest"
 dune runtest
 
+echo "== selfbench smoke (--quick, 2 jobs)"
+# selfbench parses the file back through Asvm_obs.Json before exiting,
+# so a zero exit already means well-formed JSON; re-check the schema
+# tag here so a stale file can't satisfy this step
+dune exec bench/main.exe -- --quick selfbench --jobs 2
+test -s BENCH_selfbench.json
+head -c 64 BENCH_selfbench.json | grep -q '"schema":"asvm.selfbench/v1"'
+
 if command -v odoc >/dev/null 2>&1; then
   echo "== dune build @doc"
   dune build @doc

@@ -18,6 +18,15 @@ type backend = B_asvm of Asvm.t | B_xmm of Xmm.t
 
 type task = { tk_node : int; tk_id : Ids.task_id }
 
+(* Engine-profile gauges, resolved once at [create] so snapshotting
+   never goes through the registry's string lookup. *)
+type engine_gauges = {
+  g_events : Metrics.Gauge.t;
+  g_sim_ms : Metrics.Gauge.t;
+  g_cpu_s : Metrics.Gauge.t;
+  g_cpu_us_per_sim_ms : Metrics.Gauge.t;
+}
+
 type t = {
   config : Config.t;
   engine : Engine.t;
@@ -28,6 +37,7 @@ type t = {
   default_pager : Store_pager.t;
   io_disk : Disk.t;
   metrics : Metrics.Registry.t;
+  engine_gauges : engine_gauges;
   trace : Trace.t option;
   (* distributed objects and their sharer sets *)
   registered : (Ids.obj_id, int list) Hashtbl.t;
@@ -83,6 +93,14 @@ let create (config : Config.t) =
     registered = Hashtbl.create 32;
     pagers = Hashtbl.create 32;
     metrics;
+    engine_gauges =
+      {
+        g_events = Metrics.Registry.gauge metrics "engine.events";
+        g_sim_ms = Metrics.Registry.gauge metrics "engine.sim_ms";
+        g_cpu_s = Metrics.Registry.gauge metrics "engine.cpu_s";
+        g_cpu_us_per_sim_ms =
+          Metrics.Registry.gauge metrics "engine.cpu_us_per_sim_ms";
+      };
     trace;
   }
 
@@ -101,13 +119,11 @@ let metrics t = t.metrics
 
 let metrics_snapshot t =
   let p = Engine.profile t.engine in
-  let gauge name v =
-    Metrics.Gauge.set (Metrics.Registry.gauge t.metrics name) v
-  in
-  gauge "engine.events" (float_of_int p.Engine.events);
-  gauge "engine.sim_ms" p.Engine.sim_ms;
-  gauge "engine.cpu_s" p.Engine.cpu_s;
-  gauge "engine.cpu_us_per_sim_ms" p.Engine.cpu_us_per_sim_ms;
+  let g = t.engine_gauges in
+  Metrics.Gauge.set g.g_events (float_of_int p.Engine.events);
+  Metrics.Gauge.set g.g_sim_ms p.Engine.sim_ms;
+  Metrics.Gauge.set g.g_cpu_s p.Engine.cpu_s;
+  Metrics.Gauge.set g.g_cpu_us_per_sim_ms p.Engine.cpu_us_per_sim_ms;
   Metrics.Registry.snapshot t.metrics
 
 (* ------------------------------------------------------------------ *)

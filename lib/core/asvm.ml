@@ -208,6 +208,24 @@ type inst = {
   mutable i_copy_k : unit -> unit;
 }
 
+(* Metric handles (see docs/PERFORMANCE.md): the registry's string+label
+   hashtable lookup is too slow for the per-message send path, so every
+   series the protocol can bump is resolved to its Counter.t/Histogram.t
+   handle ahead of the hot path.  Fixed-cardinality series resolve
+   eagerly at [create]; the (class, group, contents) cross product of
+   [asvm.msgs] resolves each cell on first use (so snapshots only carry
+   series with actual traffic) and is an array load afterwards. *)
+type handles = {
+  hm_msgs : Metrics.Counter.t option array;
+      (* asvm.msgs{class,group,contents}: row * 3 + contents index *)
+  hm_ot : Metrics.Counter.t option array;
+      (* asvm.msgs.ownership_transfer{msg,contents}, transfer rows only *)
+  hm_ownership_transfers : Metrics.Counter.t;
+  hm_fault_read : Metrics.Histogram.t;
+  hm_fault_ownership : Metrics.Histogram.t;
+  hm_forwarding : Metrics.Counter.t array;  (* per forwarding mechanism *)
+}
+
 type t = {
   sts : msg Sts.t;
   vms : Vm.t array;
@@ -216,6 +234,7 @@ type t = {
   insts : (int * Ids.obj_id, inst) Hashtbl.t;
   counters : Stats.Counters.t;
   metrics : Metrics.Registry.t;
+  handles : handles;
   trace : Trace.t option;
 }
 
@@ -264,10 +283,10 @@ let tag_of_msg = function
   | A_retry _ -> "retry"
 
 (* Message class for the metrics registry: like [tag_of_msg] but a
-   stable label with no interpolated per-message detail. *)
-let class_of_msg = function
-  | A_reply _ -> "reply"
-  | msg -> tag_of_msg msg
+   stable label with no interpolated per-message detail.  Classes and
+   accounting groups live in one fixed row table so the send path can
+   resolve a message's metric series by integer index instead of
+   rebuilding a label list per message. *)
 
 (* Bucket each message class into the accounting groups the paper's
    message-count claims are stated in (Table 1 and section 3):
@@ -279,21 +298,135 @@ let class_of_msg = function
    - "copy": delayed-copy machinery — pushes, pulls, scans (3.7).
    A request's group follows its kind: a pull or push-scan walking the
    shadow chain is copy machinery, not an ownership transfer. *)
-let group_of_msg = function
-  | A_request { r_kind = K_fault; _ } | A_reply _ | A_grant _ | A_owner_update _
-    ->
-    "transfer"
-  | A_invalidate _ | A_inval_ack _ -> "invalidation"
-  | A_pager_lookup _ | A_to_pager _ | A_pager_offer _ | A_pager_grant _ ->
-    "pager"
-  | A_reader_query _ | A_reader_answer _ | A_transfer_offer _
-  | A_transfer_answer _ | A_transfer_page _ ->
-    "pageout"
-  | A_request _ | A_pull _ | A_copy_made _ | A_copy_shared _ | A_copy_ack _
-  | A_push_lock _ | A_push_lock_done _ | A_push_contents _ | A_push_ack _
-  | A_push_prepare _ | A_push_ready _ | A_push_to_copy _ | A_scan_answer _
-  | A_retry _ ->
-    "copy"
+let msg_rows =
+  [|
+    ("request", "transfer");  (* 0: A_request, K_fault *)
+    ("request", "copy");  (* 1: A_request, K_pull / K_push_scan *)
+    ("pager_lookup", "pager");
+    ("pull", "copy");
+    ("reply", "transfer");
+    ("grant", "transfer");
+    ("invalidate", "invalidation");
+    ("inval_ack", "invalidation");
+    ("owner_update", "transfer");
+    ("reader_query", "pageout");
+    ("reader_answer", "pageout");
+    ("transfer_offer", "pageout");
+    ("transfer_answer", "pageout");
+    ("transfer_page", "pageout");
+    ("pager_offer", "pager");
+    ("pager_grant", "pager");
+    ("to_pager", "pager");
+    ("copy_made", "copy");
+    ("copy_shared", "copy");
+    ("copy_ack", "copy");
+    ("push_lock", "copy");
+    ("push_lock_done", "copy");
+    ("push_contents", "copy");
+    ("push_ack", "copy");
+    ("push_prepare", "copy");
+    ("push_ready", "copy");
+    ("push_to_copy", "copy");
+    ("scan_answer", "copy");
+    ("retry", "copy");
+  |]
+
+let row_of_msg = function
+  | A_request { r_kind = K_fault; _ } -> 0
+  | A_request _ -> 1
+  | A_pager_lookup _ -> 2
+  | A_pull _ -> 3
+  | A_reply _ -> 4
+  | A_grant _ -> 5
+  | A_invalidate _ -> 6
+  | A_inval_ack _ -> 7
+  | A_owner_update _ -> 8
+  | A_reader_query _ -> 9
+  | A_reader_answer _ -> 10
+  | A_transfer_offer _ -> 11
+  | A_transfer_answer _ -> 12
+  | A_transfer_page _ -> 13
+  | A_pager_offer _ -> 14
+  | A_pager_grant _ -> 15
+  | A_to_pager _ -> 16
+  | A_copy_made _ -> 17
+  | A_copy_shared _ -> 18
+  | A_copy_ack _ -> 19
+  | A_push_lock _ -> 20
+  | A_push_lock_done _ -> 21
+  | A_push_contents _ -> 22
+  | A_push_ack _ -> 23
+  | A_push_prepare _ -> 24
+  | A_push_ready _ -> 25
+  | A_push_to_copy _ -> 26
+  | A_scan_answer _ -> 27
+  | A_retry _ -> 28
+
+let row_is_transfer = Array.map (fun (_, g) -> g = "transfer") msg_rows
+
+(* "contents" follows the paper's accounting: a message counts as
+   carrying contents only when a page actually crosses the wire *)
+let contents_labels = [| "none"; "local"; "wire" |]
+
+let make_handles metrics =
+  {
+    hm_msgs = Array.make (Array.length msg_rows * 3) None;
+    hm_ot = Array.make (Array.length msg_rows * 3) None;
+    hm_ownership_transfers =
+      Metrics.Registry.counter metrics "asvm.ownership_transfers";
+    hm_fault_read =
+      Metrics.Registry.histogram metrics "asvm.fault_ms"
+        ~labels:[ ("kind", "read") ];
+    hm_fault_ownership =
+      Metrics.Registry.histogram metrics "asvm.fault_ms"
+        ~labels:[ ("kind", "ownership") ];
+    hm_forwarding =
+      Array.map
+        (fun mechanism ->
+          Metrics.Registry.counter metrics "asvm.forwarding"
+            ~labels:[ ("mechanism", mechanism) ])
+        [|
+          "loop_break"; "dynamic"; "to_static"; "static_hit"; "fresh_hint";
+          "paged_hint"; "global_sweep";
+        |];
+  }
+
+(* forwarding-mechanism indices into [hm_forwarding] *)
+let fwd_loop_break = 0
+let fwd_dynamic = 1
+let fwd_to_static = 2
+let fwd_static_hit = 3
+let fwd_fresh_hint = 4
+let fwd_paged_hint = 5
+let fwd_global_sweep = 6
+
+let msgs_counter t row ci =
+  let idx = (row * 3) + ci in
+  match t.handles.hm_msgs.(idx) with
+  | Some c -> c
+  | None ->
+    let cls, group = msg_rows.(row) in
+    let c =
+      Metrics.Registry.counter t.metrics "asvm.msgs"
+        ~labels:
+          [ ("class", cls); ("group", group);
+            ("contents", contents_labels.(ci)) ]
+    in
+    t.handles.hm_msgs.(idx) <- Some c;
+    c
+
+let ot_counter t row ci =
+  let idx = (row * 3) + ci in
+  match t.handles.hm_ot.(idx) with
+  | Some c -> c
+  | None ->
+    let cls, _ = msg_rows.(row) in
+    let c =
+      Metrics.Registry.counter t.metrics "asvm.msgs.ownership_transfer"
+        ~labels:[ ("msg", cls); ("contents", contents_labels.(ci)) ]
+    in
+    t.handles.hm_ot.(idx) <- Some c;
+    c
 
 let page_bytes = 8192
 
@@ -302,19 +435,11 @@ let send t ~src ~dst ?carries_page msg =
     Printf.eprintf "[asvm] %d -> %d : %s%s\n%!" src dst (tag_of_msg msg)
       (if carries_page = Some true then " [page]" else "");
   let page = carries_page = Some true in
-  let cls = class_of_msg msg and group = group_of_msg msg in
-  (* "contents" follows the paper's accounting: a message counts as
-     carrying contents only when a page actually crosses the wire *)
-  let contents =
-    if not page then "none" else if src = dst then "local" else "wire"
-  in
-  Metrics.Counter.incr
-    (Metrics.Registry.counter t.metrics "asvm.msgs"
-       ~labels:[ ("class", cls); ("group", group); ("contents", contents) ]);
-  if group = "transfer" then
-    Metrics.Counter.incr
-      (Metrics.Registry.counter t.metrics "asvm.msgs.ownership_transfer"
-         ~labels:[ ("msg", cls); ("contents", contents) ]);
+  let row = row_of_msg msg in
+  let cls, group = msg_rows.(row) in
+  let ci = if not page then 0 else if src = dst then 1 else 2 in
+  Metrics.Counter.incr (msgs_counter t row ci);
+  if row_is_transfer.(row) then Metrics.Counter.incr (ot_counter t row ci);
   Trace.emit t.trace ~time:(now t) ~node:src
     (Trace.Msg
        {
@@ -332,9 +457,7 @@ let send t ~src ~dst ?carries_page msg =
    global sweep...), mirrored into the registry next to the legacy
    [Stats.Counters] names that tests and benches already consume. *)
 let count_forward t mechanism =
-  Metrics.Counter.incr
-    (Metrics.Registry.counter t.metrics "asvm.forwarding"
-       ~labels:[ ("mechanism", mechanism) ])
+  Metrics.Counter.incr t.handles.hm_forwarding.(mechanism)
 
 let static_mgr i page = i.i_sharers.(page mod Array.length i.i_sharers)
 
@@ -417,7 +540,7 @@ and forward_request t node i req =
   else if req.r_hops > (2 * Array.length i.i_sharers) + 8 then begin
     (* stale hint loop: abandon hints, fall back to a global sweep *)
     Stats.Counters.incr t.counters "forward.loop_breaks";
-    count_forward t "loop_break";
+    count_forward t fwd_loop_break;
     start_sweep t node i req
   end
   else begin
@@ -427,7 +550,7 @@ and forward_request t node i req =
     match hint with
     | Some target when target <> node ->
       Stats.Counters.incr t.counters "forward.dynamic";
-      count_forward t "dynamic";
+      count_forward t fwd_dynamic;
       (* Note: Li's hint-chain collapse ("the originator becomes the
          next owner", paper 3.2) is deliberately NOT applied here at
          forwarding nodes. With concurrent writers, speculative hints to
@@ -442,7 +565,7 @@ and forward_request t node i req =
         let sm = static_mgr i req.r_page in
         if sm <> node then begin
           Stats.Counters.incr t.counters "forward.to_static";
-          count_forward t "to_static";
+          count_forward t fwd_to_static;
           send t ~src:node ~dst:sm (A_request req)
         end
         else consult_static t node i req
@@ -464,16 +587,16 @@ and consult_static t node i req =
   match Hint_cache.find i.i_static ~page:req.r_page with
   | Some (S_at target) when target <> node ->
     Stats.Counters.incr t.counters "forward.static_hit";
-    count_forward t "static_hit";
+    count_forward t fwd_static_hit;
     send t ~src:node ~dst:target (A_request req)
   | Some S_fresh ->
     Stats.Counters.incr t.counters "forward.fresh_hint";
-    count_forward t "fresh_hint";
+    count_forward t fwd_fresh_hint;
     claim_for_origin ();
     conclude_fresh t node i req
   | Some S_paged ->
     Stats.Counters.incr t.counters "forward.paged_hint";
-    count_forward t "paged_hint";
+    count_forward t fwd_paged_hint;
     claim_for_origin ();
     to_pager_lookup t node i req
   | Some (S_at _) (* stale self-reference *) | None ->
@@ -492,7 +615,7 @@ and to_pager_lookup t node i req =
 
 and start_sweep t node i req =
   Stats.Counters.incr t.counters "forward.global_sweeps";
-  count_forward t "global_sweep";
+  count_forward t fwd_global_sweep;
   req.r_ring <- node;
   let next = next_sharer i node in
   if next = node then end_of_search t node i req
@@ -705,8 +828,7 @@ and owner_write_grant t node i ps req =
                 }
               ~reply:(fun _ ->
                 Stats.Counters.incr t.counters "ownership_transfers";
-                Metrics.Counter.incr
-                  (Metrics.Registry.counter t.metrics "asvm.ownership_transfers");
+                Metrics.Counter.incr t.handles.hm_ownership_transfers;
                 let was_reader = List.mem req.r_origin ps.p_readers in
                 if req.r_upgrade && was_reader then
                   send t ~src:node ~dst:req.r_origin
@@ -1045,8 +1167,8 @@ let observe_fault_latency t i ~page ~ownership =
   | None -> ()
   | Some t0 ->
     Metrics.Histogram.observe
-      (Metrics.Registry.histogram t.metrics "asvm.fault_ms"
-         ~labels:[ ("kind", if ownership then "ownership" else "read") ])
+      (if ownership then t.handles.hm_fault_ownership
+       else t.handles.hm_fault_read)
       (now t -. t0)
 
 let handle_reply t node
@@ -1405,6 +1527,7 @@ let create ~net ~(config : config) ~vms ~words_per_page ?metrics ?trace () =
       insts = Hashtbl.create 64;
       counters = Stats.Counters.create ();
       metrics;
+      handles = make_handles metrics;
       trace;
     }
   in

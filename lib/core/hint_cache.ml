@@ -1,56 +1,90 @@
-(* LRU via a generation stamp per entry: small caches, scans on eviction
-   are cheap and keep the structure simple. *)
+(* O(1) LRU: a hash table over an intrusive doubly-linked list kept in
+   recency order (head = most recent, tail = the eviction victim).
+   Every operation is a table probe plus pointer surgery — no scans, so
+   the cost no longer grows with capacity. *)
 
-type 'a entry = { value : 'a; mutable stamp : int }
+type 'a node = {
+  page : int;
+  mutable value : 'a;
+  mutable prev : 'a node option;
+  mutable next : 'a node option;
+}
 
 type 'a t = {
   capacity : int;
-  table : (int, 'a entry) Hashtbl.t;
-  mutable clock : int;
+  table : (int, 'a node) Hashtbl.t;
+  mutable head : 'a node option;
+  mutable tail : 'a node option;
   mutable hits : int;
   mutable misses : int;
 }
 
 let create ~capacity =
   if capacity < 0 then invalid_arg "Hint_cache.create: negative capacity";
-  { capacity; table = Hashtbl.create (max 8 capacity); clock = 0; hits = 0; misses = 0 }
+  {
+    capacity;
+    table = Hashtbl.create (max 8 capacity);
+    head = None;
+    tail = None;
+    hits = 0;
+    misses = 0;
+  }
 
 let capacity t = t.capacity
 let size t = Hashtbl.length t.table
 
-let tick t =
-  t.clock <- t.clock + 1;
-  t.clock
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
 
-let evict_lru t =
-  let victim = ref None in
-  Hashtbl.iter
-    (fun page e ->
-      match !victim with
-      | None -> victim := Some (page, e.stamp)
-      | Some (_, s) -> if e.stamp < s then victim := Some (page, e.stamp))
-    t.table;
-  match !victim with Some (page, _) -> Hashtbl.remove t.table page | None -> ()
+let push_front t n =
+  n.next <- t.head;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let move_to_front t n =
+  match t.head with
+  | Some h when h == n -> ()
+  | _ ->
+    unlink t n;
+    push_front t n
 
 let put t ~page value =
   if t.capacity = 0 then ()
-  else begin
-    if (not (Hashtbl.mem t.table page)) && Hashtbl.length t.table >= t.capacity
-    then evict_lru t;
-    Hashtbl.replace t.table page { value; stamp = tick t }
-  end
+  else
+    match Hashtbl.find_opt t.table page with
+    | Some n ->
+      n.value <- value;
+      move_to_front t n
+    | None ->
+      if Hashtbl.length t.table >= t.capacity then
+        (match t.tail with
+        | Some victim ->
+          unlink t victim;
+          Hashtbl.remove t.table victim.page
+        | None -> ());
+      let n = { page; value; prev = None; next = None } in
+      push_front t n;
+      Hashtbl.replace t.table page n
 
 let find t ~page =
   match Hashtbl.find_opt t.table page with
-  | Some e ->
-    e.stamp <- tick t;
+  | Some n ->
+    move_to_front t n;
     t.hits <- t.hits + 1;
-    Some e.value
+    Some n.value
   | None ->
     t.misses <- t.misses + 1;
     None
 
-let remove t ~page = Hashtbl.remove t.table page
+let remove t ~page =
+  match Hashtbl.find_opt t.table page with
+  | Some n ->
+    unlink t n;
+    Hashtbl.remove t.table page
+  | None -> ()
 
 let hits t = t.hits
 let misses t = t.misses

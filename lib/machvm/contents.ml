@@ -11,12 +11,29 @@ let set t i v = t.(i) <- v
 
 let copy = Array.copy
 
-let equal = ( = )
+(* monomorphic int loops: polymorphic [( = )] and the fold closure both
+   sit on page-copy/validation paths, and the generic versions cost a
+   C call per word (and a closure allocation for the fold) *)
+let equal a b =
+  a == b
+  ||
+  let n = Array.length a in
+  n = Array.length b
+  &&
+  let rec eq_from i = i >= n || (a.(i) = b.(i) && eq_from (i + 1)) in
+  eq_from 0
 
-let is_zero t = Array.for_all (fun w -> w = 0) t
+let is_zero t =
+  let n = Array.length t in
+  let rec zero_from i = i >= n || (t.(i) = 0 && zero_from (i + 1)) in
+  zero_from 0
 
 let checksum t =
-  Array.fold_left (fun acc w -> (acc * 1000003) lxor w) (Array.length t) t
+  let acc = ref (Array.length t) in
+  for i = 0 to Array.length t - 1 do
+    acc := (!acc * 1000003) lxor t.(i)
+  done;
+  !acc
 
 let pp ppf t =
   Format.fprintf ppf "@[<h>[%a]@]"

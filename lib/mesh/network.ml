@@ -14,6 +14,14 @@ let paragon_config =
 
 module Metrics = Asvm_obs.Metrics
 
+(* Metric handles, resolved once at [create]: the per-message path must
+   not pay the registry's string+label hashtable lookup. *)
+type handles = {
+  h_messages : Metrics.Counter.t;
+  h_bytes : Metrics.Counter.t;
+  h_tx_backlog : Metrics.Histogram.t;
+}
+
 type t = {
   engine : Engine.t;
   config : config;
@@ -22,7 +30,7 @@ type t = {
   rx : Station.t array;
   mutable messages : int;
   mutable bytes_sent : int;
-  metrics : Metrics.Registry.t option;
+  handles : handles option;
 }
 
 let create ?metrics engine config topology =
@@ -35,7 +43,15 @@ let create ?metrics engine config topology =
     rx = Array.init n (fun _ -> Station.create engine);
     messages = 0;
     bytes_sent = 0;
-    metrics;
+    handles =
+      Option.map
+        (fun m ->
+          {
+            h_messages = Metrics.Registry.counter m "net.messages";
+            h_bytes = Metrics.Registry.counter m "net.bytes";
+            h_tx_backlog = Metrics.Registry.histogram m "net.tx_backlog_ms";
+          })
+        metrics;
   }
 
 let topology t = t.topology
@@ -55,19 +71,17 @@ let send t ~src ~dst ~bytes ~sw_send ~sw_recv k =
     invalid_arg "Network.send: bad node id";
   t.messages <- t.messages + 1;
   t.bytes_sent <- t.bytes_sent + bytes;
-  (match t.metrics with
+  (match t.handles with
   | None -> ()
-  | Some m ->
-    Metrics.Counter.incr (Metrics.Registry.counter m "net.messages");
-    Metrics.Counter.incr ~by:bytes (Metrics.Registry.counter m "net.bytes");
+  | Some h ->
+    Metrics.Counter.incr h.h_messages;
+    Metrics.Counter.incr ~by:bytes h.h_bytes;
     (* how far behind this sender's tx station is right now: the queue
        depth seen by the message, expressed in milliseconds of backlog *)
     let backlog =
       Float.max 0. (Station.busy_until t.tx.(src) -. Engine.now t.engine)
     in
-    Metrics.Histogram.observe
-      (Metrics.Registry.histogram m "net.tx_backlog_ms")
-      backlog);
+    Metrics.Histogram.observe h.h_tx_backlog backlog);
   let wire = wire_latency t ~src ~dst ~bytes in
   (* The sender's software path occupies its tx station; the wire adds pure
      latency; the receiver's software path occupies its rx station. *)

@@ -1,0 +1,77 @@
+let default_jobs () = Domain.recommended_domain_count ()
+
+(* A completed job is [Ok v] or the exception it died with (plus its
+   backtrace, so re-raising on the submitting domain loses nothing). *)
+type 'a outcome = ('a, exn * Printexc.raw_backtrace) result
+
+let sequential thunks =
+  (* the ~jobs:1 degenerate path: the calling domain runs the batch in
+     submission order, exactly as the pre-pool drivers did *)
+  List.map (fun f -> f ()) thunks
+
+let parallel ~jobs thunks =
+  let thunks = Array.of_list thunks in
+  let n = Array.length thunks in
+  let results : 'a outcome option array = Array.make n None in
+  let queue = Queue.create () in
+  let mutex = Mutex.create () in
+  let all_done = Condition.create () in
+  let remaining = ref n in
+  Array.iteri (fun i f -> Queue.add (i, f) queue) thunks;
+  (* Workers drain the queue; each job writes only its own slot of
+     [results], and [Domain.join] publishes those writes back to the
+     submitting domain. The queue and the completion count are the only
+     shared mutable state, both guarded by [mutex]. *)
+  let worker () =
+    let rec loop () =
+      Mutex.lock mutex;
+      if Queue.is_empty queue then begin
+        Mutex.unlock mutex
+      end
+      else begin
+        let i, f = Queue.pop queue in
+        Mutex.unlock mutex;
+        let outcome =
+          try Ok (f ())
+          with e -> Error (e, Printexc.get_raw_backtrace ())
+        in
+        results.(i) <- Some outcome;
+        Mutex.lock mutex;
+        decr remaining;
+        if !remaining = 0 then Condition.broadcast all_done;
+        Mutex.unlock mutex;
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let spawned = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+  (* the submitting domain is the pool's first worker *)
+  worker ();
+  (* barrier: results merge only after every job has completed *)
+  Mutex.lock mutex;
+  while !remaining > 0 do
+    Condition.wait all_done mutex
+  done;
+  Mutex.unlock mutex;
+  Array.iter Domain.join spawned;
+  (* submission-ordered merge; the lowest-indexed failure re-raises *)
+  Array.to_list
+    (Array.map
+       (function
+         | Some (Ok v) -> v
+         | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+         | None -> assert false)
+       results)
+
+let run ?jobs thunks =
+  let jobs =
+    match jobs with
+    | None -> default_jobs ()
+    | Some j when j < 1 -> invalid_arg "Runner.run: jobs < 1"
+    | Some j -> j
+  in
+  let jobs = min jobs (List.length thunks) in
+  if jobs <= 1 then sequential thunks else parallel ~jobs thunks
+
+let map ?jobs f cells = run ?jobs (List.map (fun c () -> f c) cells)

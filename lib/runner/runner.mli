@@ -1,0 +1,37 @@
+(** Domain-based parallel job pool for independent simulation cells.
+
+    Every paper cell — one [(mm, workload, nodes, seed)] point of
+    Tables 1–3 / Figures 10–13 — is an independent simulation: it
+    builds its own {!Asvm_cluster.Cluster.t}, which owns a private
+    event engine and metric registry, runs to completion, and returns
+    a plain value (latencies, rates, metric snapshots).  Nothing is
+    shared between cells, so a sweep over cells is embarrassingly
+    parallel.
+
+    {!run} executes such a batch on [jobs] domains (OCaml 5 [Domain]s
+    over a [Mutex]/[Condition] work queue) and returns the results in
+    {b submission order}, regardless of which domain finished which
+    job first.  Determinism is preserved by construction: each job is
+    a pure [unit -> 'a] closure over its own private state, and the
+    merge happens after a barrier, so [~jobs:1] and [~jobs:64] produce
+    identical result lists.
+
+    Exceptions propagate deterministically too: every job runs to
+    completion (or failure), and the exception of the
+    {b lowest-indexed} failing job is re-raised with its backtrace. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — the pool size used when
+    [?jobs] is omitted. *)
+
+val run : ?jobs:int -> (unit -> 'a) list -> 'a list
+(** [run ~jobs thunks] executes the thunks on a pool of [jobs] domains
+    and returns their results in submission order.  [~jobs:1] (or a
+    batch of one) degenerates to a plain sequential [List.map] on the
+    calling domain — no domains are spawned.  [jobs] is clamped to the
+    batch size.
+
+    @raise Invalid_argument if [jobs < 1]. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f cells] = [run ~jobs (List.map (fun c () -> f c) cells)]. *)

@@ -26,6 +26,16 @@ let page_bytes = 8192
 
 module Metrics = Asvm_obs.Metrics
 
+(* Metric handles, resolved once at [create]: the per-message path must
+   not pay the registry's string+label hashtable lookup or allocate a
+   label list. *)
+type handles = {
+  h_msgs_plain : Metrics.Counter.t;  (* sts.messages{page=false} *)
+  h_msgs_page : Metrics.Counter.t;  (* sts.messages{page=true} *)
+  h_bytes : Metrics.Counter.t;
+  h_buffers : Metrics.Gauge.t;
+}
+
 type 'msg t = {
   net : Network.t;
   config : config;
@@ -33,7 +43,7 @@ type 'msg t = {
   reserved : int array;
   mutable messages : int;
   mutable page_messages : int;
-  metrics : Metrics.Registry.t option;
+  handles : handles option;
 }
 
 let create ?metrics net config =
@@ -45,7 +55,20 @@ let create ?metrics net config =
     reserved = Array.make n 0;
     messages = 0;
     page_messages = 0;
-    metrics;
+    handles =
+      Option.map
+        (fun m ->
+          {
+            h_msgs_plain =
+              Metrics.Registry.counter m "sts.messages"
+                ~labels:[ ("page", "false") ];
+            h_msgs_page =
+              Metrics.Registry.counter m "sts.messages"
+                ~labels:[ ("page", "true") ];
+            h_bytes = Metrics.Registry.counter m "sts.bytes";
+            h_buffers = Metrics.Registry.gauge m "sts.buffers_reserved";
+          })
+        metrics;
   }
 
 let register t ~node handler = t.handlers.(node) <- Some handler
@@ -54,9 +77,9 @@ let debug = Sys.getenv_opt "STS_DEBUG" <> None
 
 (* current credit-pool pressure, summed over nodes *)
 let buffers_gauge t delta =
-  match t.metrics with
+  match t.handles with
   | None -> ()
-  | Some m -> Metrics.Gauge.add (Metrics.Registry.gauge m "sts.buffers_reserved") delta
+  | Some h -> Metrics.Gauge.add h.h_buffers delta
 
 let reserve_buffer t ~node =
   if t.reserved.(node) >= t.config.page_buffers then false
@@ -94,13 +117,11 @@ let send t ~src ~dst ?(carries_page = false) msg =
   let c = t.config in
   let extra = if carries_page then c.page_extra_ms else 0. in
   let bytes = c.header_bytes + if carries_page then page_bytes else 0 in
-  (match t.metrics with
+  (match t.handles with
   | None -> ()
-  | Some m ->
-    Metrics.Counter.incr
-      (Metrics.Registry.counter m "sts.messages"
-         ~labels:[ ("page", string_of_bool carries_page) ]);
-    Metrics.Counter.incr ~by:bytes (Metrics.Registry.counter m "sts.bytes"));
+  | Some h ->
+    Metrics.Counter.incr (if carries_page then h.h_msgs_page else h.h_msgs_plain);
+    Metrics.Counter.incr ~by:bytes h.h_bytes);
   Network.send t.net ~src ~dst ~bytes ~sw_send:(c.sw_send_ms +. extra)
     ~sw_recv:(c.sw_recv_ms +. extra)
     (fun () -> handler msg)

@@ -61,8 +61,13 @@ let measure ~mm ~chain ?(pages = 16) () =
     metrics = Cluster.metrics_snapshot cl;
   }
 
-let figure11 ~mm ~chains ?(pages = 16) () =
-  let results = List.map (fun chain -> measure ~mm ~chain ~pages ()) chains in
+let figure11 ~mm ~chains ?(pages = 16) ?jobs () =
+  (* each chain length is an independent simulation: a pure pool job *)
+  let results =
+    Asvm_runner.Runner.map ?jobs
+      (fun chain -> measure ~mm ~chain ~pages ())
+      chains
+  in
   let series = Stats.Series.create "fault latency vs chain length" in
   (* the paper's model counts stages beyond the first fork: lb is the
      basic remote copy-on-access latency, la the cost per additional

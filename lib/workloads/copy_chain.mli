@@ -18,10 +18,13 @@ val measure :
   mm:Asvm_cluster.Config.mm -> chain:int -> ?pages:int -> unit -> result
 
 (** Sweep chain lengths; returns the per-chain results and the fitted
-    [(lb, la)] of the latency model. *)
+    [(lb, la)] of the latency model.  Each chain length runs as an
+    independent job on the {!Asvm_runner.Runner} pool; results and fit
+    are independent of [jobs]. *)
 val figure11 :
   mm:Asvm_cluster.Config.mm ->
   chains:int list ->
   ?pages:int ->
+  ?jobs:int ->
   unit ->
   result list * (float * float)

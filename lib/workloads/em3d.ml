@@ -314,3 +314,10 @@ let validate ~mm ~cells ~nodes ~iterations ~seed =
     if !got <> h_ref.(c) then ok := false
   done;
   !ok
+
+let sweep ?jobs cells =
+  (* each (mm, memory, params) configuration is an independent
+     simulation: a pure pool job, merged in submission order *)
+  Asvm_runner.Runner.map ?jobs
+    (fun (mm, memory_pages, params) -> run ~mm ?memory_pages params)
+    cells

@@ -60,6 +60,14 @@ val run :
   params ->
   result
 
+(** Run a list of [(mm, memory_pages, params)] configurations as
+    independent jobs on the {!Asvm_runner.Runner} pool.  Results come
+    back in submission order and are independent of [jobs]. *)
+val sweep :
+  ?jobs:int ->
+  (Asvm_cluster.Config.mm * int option * params) list ->
+  result list
+
 (** Word-level validation on a small instance: returns [true] iff the
     distributed run computes exactly the sequential reference values. *)
 val validate :

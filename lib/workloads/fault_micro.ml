@@ -96,7 +96,13 @@ let measure_instrumented ?(nodes = 72) ?trace_out ~mm kind =
 let measure ?nodes ~mm kind =
   (measure_instrumented ?nodes ~mm kind).latency_ms
 
-let table1 ?(nodes = 72) () =
+(* Each (mm, fault kind) point is an independent simulation — its own
+   cluster, engine and registry — so a table is a batch of pure jobs
+   for the pool.  Results come back in submission order, which keeps
+   the printed rows identical for any [jobs]. *)
+module Runner = Asvm_runner.Runner
+
+let table1 ?(nodes = 72) ?jobs () =
   let rows =
     [
       Write_fault { read_copies = 1 };
@@ -108,27 +114,46 @@ let table1 ?(nodes = 72) () =
       Read_fault { nth_reader = 2 };
     ]
   in
-  List.map
-    (fun kind ->
-      let asvm = measure ~nodes ~mm:Config.Mm_asvm kind in
-      let xmm = measure ~nodes ~mm:Config.Mm_xmm kind in
-      (describe kind, asvm, xmm))
-    rows
+  let measured =
+    Runner.map ?jobs
+      (fun (mm, kind) -> measure ~nodes ~mm kind)
+      (List.concat_map
+         (fun kind -> [ (Config.Mm_asvm, kind); (Config.Mm_xmm, kind) ])
+         rows)
+  in
+  let rec zip rows ms =
+    match (rows, ms) with
+    | [], [] -> []
+    | kind :: rows, asvm :: xmm :: ms -> (describe kind, asvm, xmm) :: zip rows ms
+    | _ -> assert false
+  in
+  zip rows measured
 
-let figure10 ?(nodes = 72) ~readers () =
-  List.map
-    (fun n ->
-      let aw = measure ~nodes ~mm:Config.Mm_asvm (Write_fault { read_copies = n }) in
-      let au =
-        if n >= 2 then
-          measure ~nodes ~mm:Config.Mm_asvm (Write_upgrade { read_copies = n })
-        else nan
-      in
-      let xw = measure ~nodes ~mm:Config.Mm_xmm (Write_fault { read_copies = n }) in
-      let xu =
-        if n >= 2 then
-          measure ~nodes ~mm:Config.Mm_xmm (Write_upgrade { read_copies = n })
-        else nan
-      in
-      (n, aw, au, xw, xu))
-    readers
+let figure10 ?(nodes = 72) ?jobs ~readers () =
+  let cell (mm, kind) =
+    match kind with
+    | `Write n -> measure ~nodes ~mm (Write_fault { read_copies = n })
+    | `Upgrade n when n >= 2 ->
+      measure ~nodes ~mm (Write_upgrade { read_copies = n })
+    | `Upgrade _ -> nan
+  in
+  let measured =
+    Runner.map ?jobs cell
+      (List.concat_map
+         (fun n ->
+           [
+             (Config.Mm_asvm, `Write n);
+             (Config.Mm_asvm, `Upgrade n);
+             (Config.Mm_xmm, `Write n);
+             (Config.Mm_xmm, `Upgrade n);
+           ])
+         readers)
+  in
+  let rec zip readers ms =
+    match (readers, ms) with
+    | [], [] -> []
+    | n :: readers, aw :: au :: xw :: xu :: ms ->
+      (n, aw, au, xw, xu) :: zip readers ms
+    | _ -> assert false
+  in
+  zip readers measured

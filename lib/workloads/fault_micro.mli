@@ -43,11 +43,19 @@ val measure_instrumented :
 val measure :
   ?nodes:int -> mm:Asvm_cluster.Config.mm -> fault_kind -> float
 
-(** The seven rows of Table 1: [(label, asvm_ms, xmm_ms)]. *)
-val table1 : ?nodes:int -> unit -> (string * float * float) list
+(** The seven rows of Table 1: [(label, asvm_ms, xmm_ms)].  Each
+    (mm, kind) cell is an independent simulation submitted to the
+    {!Asvm_runner.Runner} pool; [jobs] defaults to the domain count and
+    [~jobs:1] is the sequential path.  Row order and values are
+    independent of [jobs]. *)
+val table1 : ?nodes:int -> ?jobs:int -> unit -> (string * float * float) list
 
 (** Figure 10: write-fault latency vs. number of read copies.
     Returns [(readers, asvm_write, asvm_upgrade, xmm_write, xmm_upgrade)]
-    for each point. *)
+    for each point.  Cells run on the pool like {!table1}. *)
 val figure10 :
-  ?nodes:int -> readers:int list -> unit -> (int * float * float * float * float) list
+  ?nodes:int ->
+  ?jobs:int ->
+  readers:int list ->
+  unit ->
+  (int * float * float * float * float) list

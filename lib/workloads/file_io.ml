@@ -108,12 +108,30 @@ let read_test ~mm ~nodes ?(file_mb = 4) ?(stripes = 1) () =
     metrics = Cluster.metrics_snapshot cl;
   }
 
-let table2 ~node_counts ?(file_mb = 4) () =
-  List.map
-    (fun nodes ->
-      let aw = (write_test ~mm:Config.Mm_asvm ~nodes ~file_mb ()).per_node_mb_s in
-      let xw = (write_test ~mm:Config.Mm_xmm ~nodes ~file_mb ()).per_node_mb_s in
-      let ar = (read_test ~mm:Config.Mm_asvm ~nodes ~file_mb ()).per_node_mb_s in
-      let xr = (read_test ~mm:Config.Mm_xmm ~nodes ~file_mb ()).per_node_mb_s in
-      (nodes, aw, xw, ar, xr))
-    node_counts
+let table2 ~node_counts ?(file_mb = 4) ?jobs () =
+  (* every (op, mm, nodes) cell is an independent simulation: a pure
+     pool job, merged back in submission order *)
+  let rates =
+    Asvm_runner.Runner.map ?jobs
+      (fun (op, mm, nodes) ->
+        match op with
+        | `Write -> (write_test ~mm ~nodes ~file_mb ()).per_node_mb_s
+        | `Read -> (read_test ~mm ~nodes ~file_mb ()).per_node_mb_s)
+      (List.concat_map
+         (fun nodes ->
+           [
+             (`Write, Config.Mm_asvm, nodes);
+             (`Write, Config.Mm_xmm, nodes);
+             (`Read, Config.Mm_asvm, nodes);
+             (`Read, Config.Mm_xmm, nodes);
+           ])
+         node_counts)
+  in
+  let rec zip node_counts rs =
+    match (node_counts, rs) with
+    | [], [] -> []
+    | nodes :: node_counts, aw :: xw :: ar :: xr :: rs ->
+      (nodes, aw, xw, ar, xr) :: zip node_counts rs
+    | _ -> assert false
+  in
+  zip node_counts rates

@@ -38,7 +38,8 @@ val read_test :
   result
 
 (** Table 2: for each node count, ASVM write / XMM write / ASVM read /
-    XMM read in MB/s. *)
+    XMM read in MB/s.  Each cell runs as an independent job on the
+    {!Asvm_runner.Runner} pool; rows are independent of [jobs]. *)
 val table2 :
-  node_counts:int list -> ?file_mb:int -> unit ->
+  node_counts:int list -> ?file_mb:int -> ?jobs:int -> unit ->
   (int * float * float * float * float) list

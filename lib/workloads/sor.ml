@@ -202,3 +202,8 @@ let validate ~mm ~grid ~nodes ~iterations =
     if !got <> expected.(i) then ok := false
   done;
   !ok
+
+let sweep ?jobs cells =
+  (* each (mm, params) configuration is an independent simulation: a
+     pure pool job, merged in submission order *)
+  Asvm_runner.Runner.map ?jobs (fun (mm, params) -> run ~mm params) cells

@@ -23,6 +23,12 @@ type result = {
 (** Page-granular benchmark run (like {!Em3d.run}). *)
 val run : mm:Asvm_cluster.Config.mm -> ?memory_pages:int -> params -> result
 
+(** Run a list of [(mm, params)] configurations as independent jobs on
+    the {!Asvm_runner.Runner} pool.  Results come back in submission
+    order and are independent of [jobs]. *)
+val sweep :
+  ?jobs:int -> (Asvm_cluster.Config.mm * params) list -> result list
+
 (** Word-level validation of a small grid against a sequential
     reference stencil computation. *)
 val validate :

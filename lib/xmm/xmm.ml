@@ -67,6 +67,19 @@ type mstate = {
   m_waits : (int, wait) Hashtbl.t;
 }
 
+(* Metric handles (see docs/PERFORMANCE.md): like the ASVM side, the
+   send path resolves each [xmm.msgs] series to its Counter.t once
+   (first use) and pays an array load per message afterwards; the
+   fixed-cardinality series resolve eagerly at [create]. *)
+type handles = {
+  hm_msgs : Metrics.Counter.t option array;
+      (* xmm.msgs{class,group,contents}: row * 3 + contents index *)
+  hm_ot : Metrics.Counter.t option array;
+      (* xmm.msgs.ownership_transfer{msg,contents}, transfer rows only *)
+  hm_fault_read : Metrics.Histogram.t;
+  hm_fault_ownership : Metrics.Histogram.t;
+}
+
 type export = { e_src_node : int; e_src_task : Ids.task_id }
 
 type fork_pool = {
@@ -87,6 +100,7 @@ type t = {
   conts : (int, unit -> unit) Hashtbl.t;
   mutable next_cont : int;
   metrics : Metrics.Registry.t;
+  handles : handles;
   trace : Trace.t option;
   (* (obj, page, origin) -> simulated time the fault left the kernel;
      feeds the xmm.fault_ms latency histogram *)
@@ -118,47 +132,101 @@ let manager_for t obj =
   | Some ms -> ms
   | None -> failwith (Printf.sprintf "Xmm: obj#%d has no manager" obj)
 
-let class_of_msg = function
-  | Request _ -> "request"
-  | Lock _ -> "lock"
-  | Lock_done _ -> "lock_done"
-  | Supply _ -> "supply"
-  | Grant _ -> "grant"
-  | Returned _ -> "returned"
-  | Fork_request _ -> "fork_request"
-  | Fork_supply _ -> "fork_supply"
-  | Pager_hop _ -> "pager_hop"
+(* Fixed (class, group) rows of the [xmm.msgs] series — the accounting
+   buckets match the ASVM side, so the paper's Table 1 counts can be
+   compared label for label.  A [Lock] participates in an ownership
+   transfer when it recalls the current writer's copy ([clean = true],
+   XMM's clean-at-pager step) but is an invalidation when it merely
+   flushes read copies.  [Lock_done] and the pager hops depend on what
+   they answer, so their senders pass the row explicitly. *)
+let msg_rows =
+  [|
+    ("request", "transfer");  (* 0 *)
+    ("lock", "transfer");  (* 1: clean recall of the writer's copy *)
+    ("lock", "invalidation");  (* 2: read-copy flush *)
+    ("lock_done", "transfer");  (* 3 *)
+    ("lock_done", "invalidation");  (* 4 *)
+    ("supply", "transfer");  (* 5 *)
+    ("grant", "transfer");  (* 6 *)
+    ("returned", "pageout");  (* 7 *)
+    ("fork_request", "copy");  (* 8 *)
+    ("fork_supply", "copy");  (* 9 *)
+    ("pager_hop", "pager");  (* 10 *)
+    ("pager_request", "pager");  (* 11: data_request to the pager task *)
+    ("pager_supply", "pager");  (* 12: data_supply back *)
+    ("pager_write", "transfer");  (* 13: data_write in the critical path *)
+  |]
 
-(* Default accounting group per message (same buckets as the ASVM
-   side, so the paper's Table 1 counts can be compared label for
-   label).  A [Lock] participates in an ownership transfer when it
-   recalls the current writer's copy ([clean = true], XMM's
-   clean-at-pager step) but is an invalidation when it merely flushes
-   read copies.  [Lock_done] and [Pager_hop] depend on what they
-   answer, so their callers pass the group explicitly. *)
-let group_of_msg = function
-  | Request _ | Supply _ | Grant _ | Lock_done _ -> "transfer"
-  | Lock { clean; _ } -> if clean then "transfer" else "invalidation"
-  | Returned _ -> "pageout"
-  | Fork_request _ | Fork_supply _ -> "copy"
-  | Pager_hop _ -> "pager"
+let row_pager_hop = 10
+let row_pager_request = 11
+let row_pager_supply = 12
+let row_pager_write = 13
+let row_lock_done ~clean = if clean then 3 else 4
+
+let row_of_msg = function
+  | Request _ -> 0
+  | Lock { clean = true; _ } -> 1
+  | Lock { clean = false; _ } -> 2
+  | Lock_done _ -> 3
+  | Supply _ -> 5
+  | Grant _ -> 6
+  | Returned _ -> 7
+  | Fork_request _ -> 8
+  | Fork_supply _ -> 9
+  | Pager_hop _ -> row_pager_hop
+
+let row_is_transfer = Array.map (fun (_, g) -> g = "transfer") msg_rows
+let contents_labels = [| "none"; "local"; "wire" |]
+
+let make_handles metrics =
+  {
+    hm_msgs = Array.make (Array.length msg_rows * 3) None;
+    hm_ot = Array.make (Array.length msg_rows * 3) None;
+    hm_fault_read =
+      Metrics.Registry.histogram metrics "xmm.fault_ms"
+        ~labels:[ ("kind", "read") ];
+    hm_fault_ownership =
+      Metrics.Registry.histogram metrics "xmm.fault_ms"
+        ~labels:[ ("kind", "ownership") ];
+  }
+
+let msgs_counter t row ci =
+  let idx = (row * 3) + ci in
+  match t.handles.hm_msgs.(idx) with
+  | Some c -> c
+  | None ->
+    let cls, group = msg_rows.(row) in
+    let c =
+      Metrics.Registry.counter t.metrics "xmm.msgs"
+        ~labels:
+          [ ("class", cls); ("group", group);
+            ("contents", contents_labels.(ci)) ]
+    in
+    t.handles.hm_msgs.(idx) <- Some c;
+    c
+
+let ot_counter t row ci =
+  let idx = (row * 3) + ci in
+  match t.handles.hm_ot.(idx) with
+  | Some c -> c
+  | None ->
+    let cls, _ = msg_rows.(row) in
+    let c =
+      Metrics.Registry.counter t.metrics "xmm.msgs.ownership_transfer"
+        ~labels:[ ("msg", cls); ("contents", contents_labels.(ci)) ]
+    in
+    t.handles.hm_ot.(idx) <- Some c;
+    c
 
 let page_bytes = 8192
 
-let send t ~src ~dst_node ?carries_page ?cls ?group msg =
+let send t ~src ~dst_node ?carries_page ?row msg =
   let page = carries_page = Some true in
-  let cls = match cls with Some c -> c | None -> class_of_msg msg in
-  let group = match group with Some g -> g | None -> group_of_msg msg in
-  let contents =
-    if not page then "none" else if src = dst_node then "local" else "wire"
-  in
-  Metrics.Counter.incr
-    (Metrics.Registry.counter t.metrics "xmm.msgs"
-       ~labels:[ ("class", cls); ("group", group); ("contents", contents) ]);
-  if group = "transfer" then
-    Metrics.Counter.incr
-      (Metrics.Registry.counter t.metrics "xmm.msgs.ownership_transfer"
-         ~labels:[ ("msg", cls); ("contents", contents) ]);
+  let row = match row with Some r -> r | None -> row_of_msg msg in
+  let cls, group = msg_rows.(row) in
+  let ci = if not page then 0 else if src = dst_node then 1 else 2 in
+  Metrics.Counter.incr (msgs_counter t row ci);
+  if row_is_transfer.(row) then Metrics.Counter.incr (ot_counter t row ci);
   Trace.emit t.trace ~time:(now t) ~node:src
     (Trace.Msg
        {
@@ -173,15 +241,14 @@ let send t ~src ~dst_node ?carries_page ?cls ?group msg =
   Ipc.send t.ipc ~src ~dst:t.ports.(dst_node) ?carries_page msg
 
 (* One hop of local IPC between the kernel-resident XMM stack and the
-   user-level pager task on the same node.  [cls]/[group] name the
-   Mach pager-interface call the hop models (data_request /
-   data_supply / data_write). *)
-let pager_hop t ~node ~carries_page ~cls ~group k =
+   user-level pager task on the same node.  [row] names the Mach
+   pager-interface call the hop models (data_request / data_supply /
+   data_write). *)
+let pager_hop t ~node ~carries_page ~row k =
   let id = t.next_cont in
   t.next_cont <- id + 1;
   Hashtbl.add t.conts id k;
-  send t ~src:node ~dst_node:node ~carries_page ~cls ~group
-    (Pager_hop { cont = id })
+  send t ~src:node ~dst_node:node ~carries_page ~row (Pager_hop { cont = id })
 
 let observe_fault t ~obj ~page ~origin ~write =
   match Hashtbl.find_opt t.fault_starts (obj, page, origin) with
@@ -189,8 +256,7 @@ let observe_fault t ~obj ~page ~origin ~write =
   | Some t0 ->
     Hashtbl.remove t.fault_starts (obj, page, origin);
     Metrics.Histogram.observe
-      (Metrics.Registry.histogram t.metrics "xmm.fault_ms"
-         ~labels:[ ("kind", if write then "ownership" else "read") ])
+      (if write then t.handles.hm_fault_ownership else t.handles.hm_fault_read)
       (now t -. t0)
 
 (* ------------------------------------------------------------------ *)
@@ -274,11 +340,11 @@ let rec run_request t ms ~origin ~page ~desired ~upgrade =
                user-level pager task: request out, supply (with page)
                back. *)
             pager_hop t ~node:ms.m_node ~carries_page:false
-              ~cls:"pager_request" ~group:"pager" (fun () ->
+              ~row:row_pager_request (fun () ->
                 Store_pager.request ms.m_pager ~obj ~page
                   ~words:t.words_per_page (fun contents ->
                     pager_hop t ~node:ms.m_node ~carries_page:true
-                      ~cls:"pager_supply" ~group:"pager" (fun () ->
+                      ~row:row_pager_supply (fun () ->
                         Bytes.set (node_state ms origin) page
                           (if Prot.equal desired Prot.Read_write then st_write
                            else st_read);
@@ -333,8 +399,8 @@ let manager_lock_done t ms ~page ~contents =
        IPC carrying the page — Mach's memory_object_data_write, part of
        the transfer's critical path); the disk write is paid the first
        time the page is cleaned *)
-    pager_hop t ~node:ms.m_node ~carries_page:true ~cls:"pager_write"
-      ~group:"transfer" (fun () ->
+    pager_hop t ~node:ms.m_node ~carries_page:true ~row:row_pager_write
+      (fun () ->
         if Bytes.get ms.m_cleaned page = '\000' then begin
           Bytes.set ms.m_cleaned page '\001';
           Store_pager.clean ms.m_pager ~obj:ms.m_obj ~page ~contents:c
@@ -371,7 +437,7 @@ let handle_lock t ~node ~obj ~page ~max_access ~clean =
       in
       send t ~src:node ~dst_node:ms.m_node
         ~carries_page:(Option.is_some contents)
-        ~group:(if clean then "transfer" else "invalidation")
+        ~row:(row_lock_done ~clean)
         (Lock_done { node; obj; page; contents }))
 
 (* ------------------------------------------------------------------ *)
@@ -476,6 +542,7 @@ let create ~net ~ipc_config ~vms ~words_per_page ~fork_threads ?metrics ?trace
       conts = Hashtbl.create 32;
       next_cont = 0;
       metrics;
+      handles = make_handles metrics;
       trace;
       fault_starts = Hashtbl.create 16;
     }

@@ -1,0 +1,181 @@
+(* Parallel job pool: determinism is the whole contract.
+
+   The pool promises that results come back in submission order and
+   that values are independent of the worker count — [~jobs:1] and
+   [~jobs:4] must be indistinguishable to the caller.  The first group
+   checks the pool mechanics directly; the second replays small
+   versions of the paper's tables through the workload drivers and
+   asserts the formatted rows are byte-identical sequential vs
+   parallel. *)
+
+module Runner = Asvm_runner.Runner
+module Config = Asvm_cluster.Config
+module Fault_micro = Asvm_workloads.Fault_micro
+module Copy_chain = Asvm_workloads.Copy_chain
+module File_io = Asvm_workloads.File_io
+module Em3d = Asvm_workloads.Em3d
+module Sor = Asvm_workloads.Sor
+
+(* ------------------------------------------------------------------ *)
+(* Pool mechanics                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_ordering () =
+  let n = 50 in
+  let thunks = List.init n (fun i () -> i * i) in
+  let expected = List.init n (fun i -> i * i) in
+  Alcotest.(check (list int)) "jobs:1" expected (Runner.run ~jobs:1 thunks);
+  Alcotest.(check (list int)) "jobs:4" expected (Runner.run ~jobs:4 thunks);
+  Alcotest.(check (list int))
+    "jobs clamped to batch" expected
+    (Runner.run ~jobs:(n * 4) thunks)
+
+let test_map_matches_run () =
+  let cells = List.init 20 (fun i -> i) in
+  Alcotest.(check (list int))
+    "map = run of closures"
+    (Runner.run ~jobs:3 (List.map (fun c () -> c + 100) cells))
+    (Runner.map ~jobs:3 (fun c -> c + 100) cells)
+
+let test_empty_and_defaults () =
+  Alcotest.(check (list int)) "empty batch" [] (Runner.run ~jobs:4 []);
+  Alcotest.(check bool) "default_jobs >= 1" true (Runner.default_jobs () >= 1);
+  Alcotest.check_raises "jobs:0 rejected"
+    (Invalid_argument "Runner.run: jobs < 1") (fun () ->
+      ignore (Runner.run ~jobs:0 [ (fun () -> ()) ]))
+
+let test_exception_propagation () =
+  let ran = Atomic.make 0 in
+  let thunks =
+    List.init 8 (fun i () ->
+        Atomic.incr ran;
+        if i = 3 then failwith "boom-3";
+        if i = 5 then failwith "boom-5";
+        i)
+  in
+  (match Runner.run ~jobs:4 thunks with
+  | _ -> Alcotest.fail "expected an exception"
+  | exception Failure msg ->
+    Alcotest.(check string) "lowest-indexed failure wins" "boom-3" msg);
+  Alcotest.(check int) "every job still ran" 8 (Atomic.get ran);
+  match Runner.run ~jobs:1 thunks with
+  | _ -> Alcotest.fail "expected an exception (sequential)"
+  | exception Failure msg ->
+    Alcotest.(check string) "sequential raises the same" "boom-3" msg
+
+(* each job owns fresh private state: no cross-job interference *)
+let test_private_state () =
+  let results =
+    Runner.map ~jobs:4
+      (fun seed ->
+        let tbl = Hashtbl.create 16 in
+        for i = 0 to 999 do
+          Hashtbl.replace tbl (i mod 64) (seed + i)
+        done;
+        Hashtbl.fold (fun _ v acc -> acc + v) tbl 0)
+      (List.init 8 (fun i -> i * 1000))
+  in
+  let expected =
+    List.init 8 (fun i ->
+        let seed = i * 1000 in
+        let tbl = Hashtbl.create 16 in
+        for j = 0 to 999 do
+          Hashtbl.replace tbl (j mod 64) (seed + j)
+        done;
+        Hashtbl.fold (fun _ v acc -> acc + v) tbl 0)
+  in
+  Alcotest.(check (list int)) "independent cells" expected results
+
+(* ------------------------------------------------------------------ *)
+(* Workload cells: rows byte-identical sequential vs parallel         *)
+(* ------------------------------------------------------------------ *)
+
+(* Formatted with the same conversions the bench tables use, so "byte
+   identical rows" here is the same statement as for bench output.
+   %.17g would be stricter than the tables print; use it anyway —
+   the cells must agree to the last bit, not to display precision. *)
+let check_rows name rows_of =
+  Alcotest.(check (list string)) name (rows_of ~jobs:1) (rows_of ~jobs:4)
+
+let test_table1_rows () =
+  check_rows "table1" (fun ~jobs ->
+      List.map
+        (fun (label, a, x) -> Printf.sprintf "%s %.17g %.17g" label a x)
+        (Fault_micro.table1 ~jobs ()))
+
+let test_figure10_rows () =
+  check_rows "figure10" (fun ~jobs ->
+      List.map
+        (fun (n, aw, au, xw, xu) ->
+          (* readers=1 has no upgrade cell: nan prints, = would reject *)
+          Printf.sprintf "%d %.17g %.17g %.17g %.17g" n aw au xw xu)
+        (Fault_micro.figure10 ~nodes:16 ~jobs ~readers:[ 1; 2; 4 ] ()))
+
+let test_figure11_rows () =
+  check_rows "figure11" (fun ~jobs ->
+      List.concat_map
+        (fun mm ->
+          let results, (lb, la) =
+            Copy_chain.figure11 ~mm ~chains:[ 1; 2; 3 ] ~pages:4 ~jobs ()
+          in
+          Printf.sprintf "fit %.17g %.17g" lb la
+          :: List.map
+               (fun (r : Copy_chain.result) ->
+                 Printf.sprintf "%d %.17g %d" r.chain r.mean_fault_ms r.faults)
+               results)
+        [ Config.Mm_asvm; Config.Mm_xmm ])
+
+let test_table2_rows () =
+  check_rows "table2" (fun ~jobs ->
+      List.map
+        (fun (n, aw, xw, ar, xr) ->
+          Printf.sprintf "%d %.17g %.17g %.17g %.17g" n aw xw ar xr)
+        (File_io.table2 ~node_counts:[ 1; 2; 4 ] ~file_mb:1 ~jobs ()))
+
+let test_em3d_sor_sweeps () =
+  let em3d_cells =
+    List.concat_map
+      (fun mm ->
+        [
+          (mm, None, { Em3d.cells = 8_000; nodes = 4; iterations = 3; seed = 7 });
+          (mm, None, { Em3d.cells = 8_000; nodes = 8; iterations = 3; seed = 7 });
+        ])
+      [ Config.Mm_asvm; Config.Mm_xmm ]
+  in
+  check_rows "em3d sweep" (fun ~jobs ->
+      List.map
+        (fun (r : Em3d.result) ->
+          Printf.sprintf "%.17g %d %d" r.seconds r.faults r.protocol_messages)
+        (Em3d.sweep ~jobs em3d_cells));
+  let sor_cells =
+    List.map
+      (fun mm -> (mm, { Sor.grid = 64; nodes = 4; iterations = 2 }))
+      [ Config.Mm_asvm; Config.Mm_xmm ]
+  in
+  check_rows "sor sweep" (fun ~jobs ->
+      List.map
+        (fun (r : Sor.result) ->
+          Printf.sprintf "%.17g %d" r.seconds r.faults)
+        (Sor.sweep ~jobs sor_cells))
+
+let () =
+  Alcotest.run "runner"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "submission order" `Quick test_ordering;
+          Alcotest.test_case "map = run" `Quick test_map_matches_run;
+          Alcotest.test_case "empty and defaults" `Quick test_empty_and_defaults;
+          Alcotest.test_case "exception propagation" `Quick
+            test_exception_propagation;
+          Alcotest.test_case "private state" `Quick test_private_state;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "table1 rows" `Quick test_table1_rows;
+          Alcotest.test_case "figure10 rows" `Quick test_figure10_rows;
+          Alcotest.test_case "figure11 rows" `Quick test_figure11_rows;
+          Alcotest.test_case "table2 rows" `Quick test_table2_rows;
+          Alcotest.test_case "em3d and sor sweeps" `Quick test_em3d_sor_sweeps;
+        ] );
+    ]
