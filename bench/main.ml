@@ -7,6 +7,7 @@
    Quick mode:          dune exec bench/main.exe -- --quick table3
    Parallel cells:      dune exec bench/main.exe -- table3 --jobs 4
    Harness speed:       dune exec bench/main.exe -- selfbench
+   Chaos soak:          dune exec bench/main.exe -- chaos --seeds 10
    Microbenchmarks:     dune exec bench/main.exe -- bechamel *)
 
 module Config = Asvm_cluster.Config
@@ -738,10 +739,40 @@ let selfbench ~quick ?jobs () =
   pf "wrote BENCH_selfbench.json@."
 
 (* ------------------------------------------------------------------ *)
+(* Chaos soak (BENCH_chaos.json)                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Every workload under seeded fault plans with invariant checks after
+   quiesce, plus the zero-fault cost of the reliable-STS layer.  The
+   report goes to BENCH_chaos.json; a violation fails the run (and CI)
+   with the (seed, plan) pair that reproduces it. *)
+let chaos ~quick ~seeds ?jobs () =
+  let module Soak = Asvm_chaos.Soak in
+  header "chaos soak (fault injection + invariant checking)";
+  let r = Soak.run ?jobs ~seeds ~quick () in
+  Soak.pp_report Format.std_formatter r;
+  Format.pp_print_flush Format.std_formatter ();
+  let oc = open_out "BENCH_chaos.json" in
+  output_string oc (Json.to_string (Soak.to_json r));
+  output_char oc '\n';
+  close_out oc;
+  (* read it back: a zero exit certifies the file is well-formed JSON *)
+  let ic = open_in "BENCH_chaos.json" in
+  let contents = In_channel.input_all ic in
+  close_in ic;
+  (match Json.of_string (String.trim contents) with
+  | Ok _ -> ()
+  | Error e -> failwith ("chaos: BENCH_chaos.json is invalid: " ^ e));
+  pf "wrote BENCH_chaos.json@.";
+  if r.Soak.total_violations > 0 || r.Soak.incomplete > 0 then
+    failwith
+      "chaos: invariant violations or incomplete runs — see BENCH_chaos.json"
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let run_selected ~quick ~metrics ?jobs which =
+let run_selected ~quick ~metrics ~seeds ?jobs which =
   let iterations = if quick then 10 else 100 in
   let all = which = [] in
   let want name = all || List.mem name which in
@@ -758,15 +789,18 @@ let run_selected ~quick ~metrics ?jobs which =
   if want "ablation-memory" then ablation_memory ();
   if want "bechamel" then bechamel ();
   (* explicit-only: it deliberately runs its batch twice to time it *)
-  if List.mem "selfbench" which then selfbench ~quick ?jobs ()
+  if List.mem "selfbench" which then selfbench ~quick ?jobs ();
+  (* explicit-only: fault injection is a soak, not a paper experiment *)
+  if List.mem "chaos" which then chaos ~quick ~seeds ?jobs ()
 
 let () =
   let quick = ref false in
   let metrics = ref false in
   let jobs = ref None in
+  let seeds = ref 10 in
   let which = ref [] in
-  let usage_jobs () =
-    prerr_endline "bench: --jobs expects a positive integer";
+  let usage_num flag =
+    Printf.eprintf "bench: %s expects a positive integer\n" flag;
     exit 2
   in
   let rec parse = function
@@ -780,12 +814,19 @@ let () =
     | "--jobs" :: n :: rest ->
       (match int_of_string_opt n with
       | Some j when j >= 1 -> jobs := Some j
-      | _ -> usage_jobs ());
+      | _ -> usage_num "--jobs");
       parse rest
-    | [ "--jobs" ] -> usage_jobs ()
+    | [ "--jobs" ] -> usage_num "--jobs"
+    | "--seeds" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some s when s >= 1 -> seeds := s
+      | _ -> usage_num "--seeds");
+      parse rest
+    | [ "--seeds" ] -> usage_num "--seeds"
     | name :: rest ->
       which := name :: !which;
       parse rest
   in
   parse (List.tl (Array.to_list Sys.argv));
-  run_selected ~quick:!quick ~metrics:!metrics ?jobs:!jobs (List.rev !which)
+  run_selected ~quick:!quick ~metrics:!metrics ~seeds:!seeds ?jobs:!jobs
+    (List.rev !which)

@@ -7,7 +7,9 @@
      asvm-sim chain  --mm xmm --length 6
      asvm-sim file   --mm asvm --nodes 16 --op read --mb 4
      asvm-sim em3d   --mm asvm --nodes 32 --cells 256000 --iterations 20
-     asvm-sim sweep  --experiment table1 --jobs 4 *)
+     asvm-sim sweep  --experiment table1 --jobs 4
+     asvm-sim chaos  --seeds 10
+     asvm-sim chaos  --seed 3 --workload file --mm asvm *)
 
 open Cmdliner
 
@@ -218,6 +220,78 @@ let sor_cmd =
     (Cmd.info "sor" ~doc:"Strip-partitioned SOR stencil (nearest-neighbour SVM).")
     Term.(const run $ mm_term $ nodes_term $ grid_term $ iter_term)
 
+(* -------------------------------- chaos ----------------------------- *)
+
+let chaos_cmd =
+  let module Plan = Asvm_chaos.Plan in
+  let module Soak = Asvm_chaos.Soak in
+  let seeds_term =
+    Arg.(
+      value & opt int 10
+      & info [ "seeds" ] ~docv:"N"
+          ~doc:"Random fault plans per (protocol, workload) cell.")
+  in
+  let seed_term =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:
+            "Reproduce one soak cell exactly: the plan is regenerated from \
+             $(docv) and replayed against $(b,--workload) under $(b,--mm).")
+  in
+  let workload_term =
+    Arg.(
+      value
+      & opt (enum (List.map (fun w -> (w, w)) Soak.workloads)) "fault"
+      & info [ "workload" ] ~docv:"W"
+          ~doc:"Workload for $(b,--seed) mode: fault, chain, file or em3d.")
+  in
+  let quick_term =
+    Arg.(
+      value & flag
+      & info [ "quick" ] ~doc:"Shrink the workload sizes (CI smoke).")
+  in
+  let jobs_term =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains for the soak pool; plans and outcomes are \
+             independent of $(docv).")
+  in
+  let run mm seed seeds workload quick jobs =
+    match seed with
+    | Some seed ->
+      (* reproduce-by-seed: one cell, plan printed in full *)
+      let lossy = mm = Config.Mm_asvm in
+      let plan = Plan.random ~seed ~lossy in
+      Printf.printf "plan: %s\n%!" (Plan.describe plan);
+      let o = Soak.run_one ~quick ~mm ~workload ~plan ~reliable:lossy () in
+      Printf.printf "%s %s: %s, %d retransmits, %d duplicates dropped\n"
+        (Config.mm_name mm) workload
+        (if o.Soak.completed then "completed" else "DID NOT COMPLETE")
+        o.Soak.retransmits o.Soak.duplicates_dropped;
+      Option.iter (fun e -> Printf.printf "error: %s\n" e) o.Soak.error;
+      List.iter (fun v -> Printf.printf "violation: %s\n" v) o.Soak.violations;
+      if o.Soak.violations <> [] || not o.Soak.completed then exit 1
+    | None ->
+      let r = Soak.run ?jobs ~seeds ~quick () in
+      Soak.pp_report Format.std_formatter r;
+      Format.pp_print_flush Format.std_formatter ();
+      if r.Soak.total_violations > 0 || r.Soak.incomplete > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Fault-injection soak: seeded fault plans against every workload, \
+          with protocol invariant checks after quiesce (see \
+          docs/RELIABILITY.md).")
+    Term.(
+      const run $ mm_term $ seed_term $ seeds_term $ workload_term $ quick_term
+      $ jobs_term)
+
 (* -------------------------------- sweep ----------------------------- *)
 
 let sweep_cmd =
@@ -299,7 +373,7 @@ let () =
   match
     Cmd.eval ~catch:false
       (Cmd.group info
-         [ fault_cmd; chain_cmd; file_cmd; em3d_cmd; sor_cmd; sweep_cmd ])
+         [ fault_cmd; chain_cmd; file_cmd; em3d_cmd; sor_cmd; sweep_cmd; chaos_cmd ])
   with
   | code -> exit code
   | exception Sys_error msg ->

@@ -19,6 +19,15 @@ dune exec bench/main.exe -- --quick selfbench --jobs 2
 test -s BENCH_selfbench.json
 head -c 64 BENCH_selfbench.json | grep -q '"schema":"asvm.selfbench/v1"'
 
+echo "== chaos smoke (--quick, 3 seeds)"
+# the chaos experiment exits nonzero on any invariant violation or
+# incomplete cell and validates its JSON by parsing it back; re-check
+# the schema tag and the zero-violation verdict on the file itself
+dune exec bench/main.exe -- --quick chaos --seeds 3
+test -s BENCH_chaos.json
+head -c 96 BENCH_chaos.json | grep -q '"schema":"asvm.chaos/v1"'
+head -c 96 BENCH_chaos.json | grep -q '"total_violations":0'
+
 if command -v odoc >/dev/null 2>&1; then
   echo "== dune build @doc"
   dune build @doc

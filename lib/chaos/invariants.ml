@@ -1,0 +1,121 @@
+module Cluster = Asvm_cluster.Cluster
+module Config = Asvm_cluster.Config
+module Asvm = Asvm_core.Asvm
+module Vm = Asvm_machvm.Vm
+module Contents = Asvm_machvm.Contents
+module Prot = Asvm_machvm.Prot
+
+(* A resident, accessible copy of a page on one node. *)
+type copy = { c_node : int; c_access : Prot.t; c_sum : int }
+
+let copies_of vms ~sharers ~obj ~page =
+  List.filter_map
+    (fun node ->
+      let vm = vms.(node) in
+      if not (Vm.is_resident vm ~obj ~page) then None
+      else
+        match Vm.frame_access vm ~obj ~page with
+        | None | Some Prot.No_access -> None
+        | Some access ->
+          let sum =
+            match Vm.frame_contents vm ~obj ~page with
+            | Some c -> Contents.checksum c
+            | None -> 0
+          in
+          Some { c_node = node; c_access = access; c_sum = sum })
+    sharers
+
+let check cl =
+  let violations = ref [] in
+  let bad fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
+  let nodes = (Cluster.config cl).Config.nodes in
+  let vms = Array.init nodes (Cluster.node_vm cl) in
+  let asvm =
+    match Cluster.backend cl with `Asvm a -> Some a | `Xmm _ -> None
+  in
+  (* owner-side machine state + buffer-pool balance (ASVM) *)
+  (match asvm with
+  | None -> ()
+  | Some a ->
+    List.iter (fun v -> bad "asvm: %s" v) (Asvm.check_invariants a);
+    for node = 0 to nodes - 1 do
+      let r = Asvm.buffers_reserved a ~node in
+      if r <> 0 then
+        bad "sts: node %d holds %d reserved page buffers after quiesce" node r
+    done);
+  (* per-page copy-set invariants, both backends *)
+  List.iter
+    (fun (obj, sharers) ->
+      let size =
+        List.fold_left
+          (fun acc node ->
+            match (acc, Vm.find_object vms.(node) obj) with
+            | None, Some o -> Some o.Asvm_machvm.Vm_object.size_pages
+            | acc, _ -> acc)
+          None sharers
+      in
+      match size with
+      | None -> bad "obj %d: registered but instantiated on no sharer" obj
+      | Some size ->
+        for page = 0 to size - 1 do
+          let copies = copies_of vms ~sharers ~obj ~page in
+          (* single writer, and a writer excludes every other copy *)
+          (match List.filter (fun c -> c.c_access = Prot.Read_write) copies with
+          | [] -> ()
+          | [ w ] ->
+            if List.length copies > 1 then
+              bad
+                "obj %d page %d: writer on node %d coexists with %d other \
+                 cop%s"
+                obj page w.c_node
+                (List.length copies - 1)
+                (if List.length copies = 2 then "y" else "ies")
+          | ws ->
+            bad "obj %d page %d: %d simultaneous writers (nodes %s)" obj page
+              (List.length ws)
+              (String.concat ","
+                 (List.map (fun c -> string_of_int c.c_node) ws)));
+          (* no forked pages: all accessible copies agree on contents *)
+          (match copies with
+          | [] | [ _ ] -> ()
+          | first :: rest ->
+            List.iter
+              (fun c ->
+                if c.c_sum <> first.c_sum then
+                  bad
+                    "obj %d page %d: forked contents (node %d checksum %d <> \
+                     node %d checksum %d)"
+                    obj page c.c_node c.c_sum first.c_node first.c_sum)
+              rest);
+          (* reader lists registered at the owner match reality *)
+          match asvm with
+          | None -> ()
+          | Some a -> (
+            match Asvm.readers a ~obj ~page with
+            | None -> ()
+            | Some readers ->
+              let owner_nodes =
+                List.filter
+                  (fun node -> Asvm.is_owner a ~node ~obj ~page)
+                  sharers
+              in
+              List.iter
+                (fun r ->
+                  if not (List.mem r sharers) then
+                    bad "obj %d page %d: registered reader %d is not a sharer"
+                      obj page r;
+                  if List.mem r owner_nodes then
+                    bad "obj %d page %d: owner %d is in its own reader list"
+                      obj page r;
+                  if
+                    List.mem r sharers
+                    && not (Vm.is_resident vms.(r) ~obj ~page)
+                  then
+                    bad
+                      "obj %d page %d: registered reader %d does not hold the \
+                       page"
+                      obj page r)
+                readers)
+        done)
+    (Cluster.registered_objects cl);
+  List.rev !violations

@@ -1,0 +1,24 @@
+(** Protocol invariant checking over a quiescent cluster.
+
+    Run the engine dry first ([Cluster.run]); then {!check} audits the
+    global safety properties both memory managers must preserve no
+    matter what the fault plan did to their messages:
+
+    - {b single writer}: at most one node holds kernel write access to
+      any page, and a writer never coexists with other resident copies;
+    - {b no forked pages}: every resident, accessible copy of a page
+      has identical contents (compared by {!Asvm_machvm.Contents.checksum});
+    - {b reader-list consistency} (ASVM): every reader registered at an
+      owner is a sharer, holds the page resident, and is not the owner;
+    - {b owner-side machine state} (ASVM): delegates
+      {!Asvm_core.Asvm.check_invariants} — single owner per page, owner
+      residency, no stuck operations, no parked requests;
+    - {b STS buffer-pool balance} (ASVM): every page receive buffer
+      reserved during the run was released (zero outstanding per node).
+
+    Violations are human-readable strings; the empty list means the
+    system state is coherent.  Callers report violations together with
+    the seed and fault plan so they can be replayed exactly. *)
+
+(** Audit [cluster]; must be quiescent. *)
+val check : Asvm_cluster.Cluster.t -> string list

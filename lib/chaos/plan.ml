@@ -1,0 +1,177 @@
+module Json = Asvm_obs.Json
+module Rng = Asvm_simcore.Rng
+
+type where = Anywhere | On_link of { src : int; dst : int } | At_node of int
+
+type rule =
+  | Drop of { p : float; where : where }
+  | Delay of { p : float; ms : float; where : where }
+  | Duplicate of { p : float; delay_ms : float; where : where }
+  | Blackout of { node : int; from_ms : float; until_ms : float }
+  | Slowdown of { node : int; extra_ms : float }
+
+type t = { seed : int; label : string; rules : rule list }
+
+let none = { seed = 0; label = "none"; rules = [] }
+
+let lossy ?(p = 0.01) ~seed () =
+  {
+    seed;
+    label = Printf.sprintf "lossy(p=%g)" p;
+    rules = [ Drop { p; where = Anywhere } ];
+  }
+
+let random ~seed ~lossy =
+  (* the rule set is derived from the seed with the shared splitmix
+     generator; the per-message decisions below never touch this RNG *)
+  let rng = Rng.create ((seed * 2) + if lossy then 1 else 0) in
+  let node () = Rng.int rng 3 in
+  let base =
+    [
+      Delay
+        {
+          p = 0.05 +. Rng.float rng 0.1;
+          ms = 0.5 +. Rng.float rng 2.;
+          where = Anywhere;
+        };
+      Slowdown { node = node (); extra_ms = 0.1 +. Rng.float rng 0.4 };
+    ]
+  in
+  let rules =
+    if not lossy then base
+    else
+      base
+      @ [
+          Drop { p = 0.005 +. Rng.float rng 0.015; where = Anywhere };
+          Drop { p = 0.05 +. Rng.float rng 0.1; where = At_node (node ()) };
+          Duplicate
+            {
+              p = 0.005 +. Rng.float rng 0.01;
+              delay_ms = Rng.float rng 1.;
+              where = Anywhere;
+            };
+          Blackout
+            {
+              node = node ();
+              from_ms = Rng.float rng 5.;
+              until_ms = 5. +. Rng.float rng 10.;
+            };
+        ]
+  in
+  {
+    seed;
+    label =
+      Printf.sprintf "random(seed=%d,%s)" seed
+        (if lossy then "lossy" else "delay-only");
+    rules;
+  }
+
+let where_to_string = function
+  | Anywhere -> "anywhere"
+  | On_link { src; dst } -> Printf.sprintf "link %d->%d" src dst
+  | At_node n -> Printf.sprintf "node %d" n
+
+let rule_to_string = function
+  | Drop { p; where } -> Printf.sprintf "drop p=%g %s" p (where_to_string where)
+  | Delay { p; ms; where } ->
+    Printf.sprintf "delay p=%g +%gms %s" p ms (where_to_string where)
+  | Duplicate { p; delay_ms; where } ->
+    Printf.sprintf "duplicate p=%g +%gms %s" p delay_ms (where_to_string where)
+  | Blackout { node; from_ms; until_ms } ->
+    Printf.sprintf "blackout node %d [%g,%g)ms" node from_ms until_ms
+  | Slowdown { node; extra_ms } ->
+    Printf.sprintf "slowdown node %d +%gms" node extra_ms
+
+let describe t =
+  Printf.sprintf "%s seed=%d: %s" t.label t.seed
+    (if t.rules = [] then "(no rules)"
+     else String.concat "; " (List.map rule_to_string t.rules))
+
+let to_json t =
+  Json.Obj
+    [
+      ("label", Json.String t.label);
+      ("seed", Json.Int t.seed);
+      ( "rules",
+        Json.List (List.map (fun r -> Json.String (rule_to_string r)) t.rules)
+      );
+    ]
+
+type event = { index : int; src : int; dst : int; deliveries : float list }
+
+let event_to_string e =
+  Printf.sprintf "#%d %d->%d [%s]" e.index e.src e.dst
+    (String.concat ";" (List.map (Printf.sprintf "%.6f") e.deliveries))
+
+(* One probabilistic decision = the splitmix64 finalizer over a mix of
+   (seed, message index, salt), mapped to [0,1).  The salt separates
+   rules within a plan and the two interposition layers, so decisions
+   never correlate — and nothing here carries state, which is what
+   makes plans reproducible independent of job count. *)
+let hash01 ~seed ~index ~salt =
+  let open Int64 in
+  let z =
+    add
+      (mul (of_int index) 0x9E3779B97F4A7C15L)
+      (add (of_int seed) (mul (of_int salt) 0xBF58476D1CE4E5B9L))
+  in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  let z = logxor z (shift_right_logical z 31) in
+  to_float (shift_right_logical z 11) /. 9007199254740992.
+
+let applies where ~src ~dst =
+  match where with
+  | Anywhere -> true
+  | On_link l -> l.src = src && l.dst = dst
+  | At_node n -> n = src || n = dst
+
+let eval ~salt_base t ~now ~index ~src ~dst =
+  let step (salt, ds) rule =
+    let salt = salt + 1 in
+    let hit p = hash01 ~seed:t.seed ~index ~salt < p in
+    match (ds, rule) with
+    | [], _ -> (salt, [])
+    | ds, Drop { p; where } ->
+      (salt, if applies where ~src ~dst && hit p then [] else ds)
+    | ds, Delay { p; ms; where } ->
+      ( salt,
+        if applies where ~src ~dst && hit p then List.map (( +. ) ms) ds
+        else ds )
+    | ds, Duplicate { p; delay_ms; where } ->
+      ( salt,
+        if applies where ~src ~dst && hit p then
+          ds @ List.map (( +. ) delay_ms) ds
+        else ds )
+    | ds, Blackout { node; from_ms; until_ms } ->
+      ( salt,
+        if (node = src || node = dst) && now >= from_ms && now < until_ms then
+          []
+        else ds )
+    | ds, Slowdown { node; extra_ms } ->
+      ( salt,
+        if node = src || node = dst then List.map (( +. ) extra_ms) ds else ds
+      )
+  in
+  snd (List.fold_left step (salt_base, [ 0. ]) t.rules)
+
+let decide t ~now ~index ~src ~dst = eval ~salt_base:0 t ~now ~index ~src ~dst
+
+let recording ?record ds ~index ~src ~dst =
+  (match record with
+  | Some f when ds <> [ 0. ] -> f { index; src; dst; deliveries = ds }
+  | _ -> ());
+  ds
+
+let net_interposer ?record t : Asvm_mesh.Network.interposer =
+ fun ~now ~index ~src ~dst ~bytes:_ ->
+  let ds = eval ~salt_base:0 t ~now ~index ~src ~dst in
+  { Asvm_mesh.Network.deliveries = recording ?record ds ~index ~src ~dst }
+
+(* the STS layer salts its decisions past every net-layer rule, so a
+   plan installed at both layers makes independent choices *)
+let sts_interposer ?record t : Asvm_sts.Sts.interposer =
+  let salt_base = 1000 * (1 + List.length t.rules) in
+  fun ~now ~index ~src ~dst ~carries_page:_ ->
+    let ds = eval ~salt_base t ~now ~index ~src ~dst in
+    { Asvm_sts.Sts.deliveries = recording ?record ds ~index ~src ~dst }

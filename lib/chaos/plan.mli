@@ -1,0 +1,86 @@
+(** Declarative, seed-reproducible fault plans.
+
+    A plan is a list of fault rules plus a seed.  Compiled into a
+    {!Asvm_mesh.Network.interposer} or {!Asvm_sts.Sts.interposer}, the
+    plan perturbs message delivery — dropping, delaying or duplicating
+    individual transmissions, blacking out nodes for a window of
+    simulated time, or slowing every message touching a hot node.
+
+    Every probabilistic decision is a {e pure function} of
+    [(seed, message index, rule position)] — no hidden RNG state — so a
+    plan produces byte-identical fault sequences no matter how many
+    worker domains ([--jobs]) the surrounding sweep uses, and a failure
+    found in a soak is replayed exactly from its [(seed, plan)] pair
+    alone.  See [docs/RELIABILITY.md]. *)
+
+(** Where a rule applies. *)
+type where =
+  | Anywhere
+  | On_link of { src : int; dst : int }  (** one directed link *)
+  | At_node of int  (** any message sent or received by this node *)
+
+type rule =
+  | Drop of { p : float; where : where }
+      (** suppress the transmission with probability [p] *)
+  | Delay of { p : float; ms : float; where : where }
+      (** add [ms] of latency with probability [p] *)
+  | Duplicate of { p : float; delay_ms : float; where : where }
+      (** with probability [p], deliver a second copy [delay_ms] later *)
+  | Blackout of { node : int; from_ms : float; until_ms : float }
+      (** drop every message touching [node] during the sim-time window *)
+  | Slowdown of { node : int; extra_ms : float }
+      (** hot node: every message touching [node] pays [extra_ms] *)
+
+type t = { seed : int; label : string; rules : rule list }
+
+(** The empty plan: no rules, perturbs nothing. *)
+val none : t
+
+(** Uniform [p] drop probability everywhere (default 1%). *)
+val lossy : ?p:float -> seed:int -> unit -> t
+
+(** A small randomized rule set derived from [seed].  With
+    [lossy:false] only delays and slowdowns are generated — the plan
+    never loses or duplicates a message, so it is safe against
+    transports with no reliability layer (the XMM baseline runs on
+    NORMA datagrams and would hang on a dropped message).  With
+    [lossy:true], drop / duplicate / blackout rules join the mix; the
+    reliable STS layer is expected to mask them. *)
+val random : seed:int -> lossy:bool -> t
+
+val describe : t -> string
+val rule_to_string : rule -> string
+
+(** Plan as JSON (label, seed, rules rendered as strings) — embedded in
+    soak reports so a violation names its exact reproduction recipe. *)
+val to_json : t -> Asvm_obs.Json.t
+
+(** {1 Compilation} *)
+
+(** One perturbed transmission, as recorded by the interposers: the
+    message [index] at that interposition layer and the delivery-delay
+    list that replaced the default [[0.]].  Unperturbed messages are
+    not recorded. *)
+type event = { index : int; src : int; dst : int; deliveries : float list }
+
+val event_to_string : event -> string
+
+(** The raw decision procedure: delivery delays for transmission
+    [index] on [src -> dst] at simulated time [now].  [[]] = dropped.
+    Pure — same arguments, same answer, forever. *)
+val decide :
+  t -> now:float -> index:int -> src:int -> dst:int -> float list
+
+(** Compile the plan for the mesh interposition point
+    ({!Asvm_mesh.Network.set_interposer}, usually via
+    [Config.net_interposer]).  [record] observes every perturbed
+    transmission — the determinism evidence. *)
+val net_interposer :
+  ?record:(event -> unit) -> t -> Asvm_mesh.Network.interposer
+
+(** Compile the plan for the STS logical interposition point
+    ([Sts.config.interposer]).  Decisions are salted differently from
+    {!net_interposer} so installing the same plan at both layers does
+    not correlate. *)
+val sts_interposer :
+  ?record:(event -> unit) -> t -> Asvm_sts.Sts.interposer

@@ -1,0 +1,257 @@
+module Cluster = Asvm_cluster.Cluster
+module Config = Asvm_cluster.Config
+module Metrics = Asvm_obs.Metrics
+module Json = Asvm_obs.Json
+module Sts = Asvm_sts.Sts
+module Fault_micro = Asvm_workloads.Fault_micro
+module Copy_chain = Asvm_workloads.Copy_chain
+module File_io = Asvm_workloads.File_io
+module Em3d = Asvm_workloads.Em3d
+module Runner = Asvm_runner.Runner
+
+type outcome = {
+  mm : Config.mm;
+  workload : string;
+  plan : Plan.t;
+  reliable : bool;
+  completed : bool;
+  error : string option;
+  violations : string list;
+  retransmits : int;
+  timeouts : int;
+  duplicates_dropped : int;
+  sim_ms : float;
+  cpu_s : float;
+}
+
+type overhead = {
+  oh_workload : string;
+  base_sim_ms : float;
+  rel_sim_ms : float;
+  base_cpu_s : float;
+  rel_cpu_s : float;
+  rel_retransmits : int;
+}
+
+type report = {
+  seeds : int;
+  quick : bool;
+  outcomes : outcome list;
+  overheads : overhead list;
+  total_violations : int;
+  incomplete : int;
+}
+
+let workloads = [ "fault"; "chain"; "file"; "em3d" ]
+
+(* Chaos exercises the protocol state machines, not the problem size:
+   every cell is a deliberately tiny instance of its workload. *)
+let dispatch ?(quick = false) ~mm ~tweak ~inspect = function
+  | "fault" ->
+    ignore
+      (Fault_micro.measure_instrumented ~nodes:8 ~tweak ~inspect ~mm
+         (Fault_micro.Write_fault { read_copies = 2 }))
+  | "chain" ->
+    ignore
+      (Copy_chain.measure ~mm ~chain:3 ~pages:(if quick then 4 else 8) ~tweak
+         ~inspect ())
+  | "file" ->
+    ignore (File_io.read_test ~mm ~nodes:4 ~file_mb:1 ~tweak ~inspect ())
+  | "em3d" ->
+    ignore
+      (Em3d.run ~mm ~tweak ~inspect
+         {
+           Em3d.cells = (if quick then 1000 else 2000);
+           nodes = 4;
+           iterations = (if quick then 1 else 2);
+           seed = 11;
+         })
+  | w -> invalid_arg (Printf.sprintf "Soak: unknown workload %S" w)
+
+let gauge snap name =
+  match Metrics.find snap name [] with Some (Metrics.Gauge_v v) -> v | _ -> 0.
+
+let run_one ?quick ~mm ~workload ~plan ~reliable () =
+  let tweak (c : Config.t) =
+    let c = { c with net_interposer = Some (Plan.net_interposer plan) } in
+    match mm with
+    | Config.Mm_xmm -> c
+    | Config.Mm_asvm ->
+      (* ASVM additionally takes the plan at the STS logical layer and,
+         when asked, arms the reliability machinery that must mask it *)
+      let sts =
+        {
+          c.asvm.sts with
+          Sts.interposer = Some (Plan.sts_interposer plan);
+          reliability = (if reliable then Some Sts.default_reliability else None);
+        }
+      in
+      { c with asvm = { c.asvm with sts } }
+  in
+  let violations = ref [] in
+  let snap = ref [] in
+  let inspect cl =
+    violations := Invariants.check cl;
+    snap := Cluster.metrics_snapshot cl
+  in
+  let error =
+    match dispatch ?quick ~mm ~tweak ~inspect workload with
+    | () -> None
+    | exception e -> Some (Printexc.to_string e)
+  in
+  let s = !snap in
+  {
+    mm;
+    workload;
+    plan;
+    reliable;
+    completed = error = None;
+    error;
+    violations = !violations;
+    retransmits = Metrics.counter_total s "sts.retransmits";
+    timeouts = Metrics.counter_total s "sts.timeouts";
+    duplicates_dropped = Metrics.counter_total s "sts.duplicates_dropped";
+    sim_ms = gauge s "engine.sim_ms";
+    cpu_s = gauge s "engine.cpu_s";
+  }
+
+let run ?jobs ?(seeds = 10) ?(quick = false) () =
+  let cells =
+    List.concat_map
+      (fun seed ->
+        List.concat_map
+          (fun workload ->
+            [
+              `Soak
+                ( Config.Mm_asvm,
+                  workload,
+                  Plan.random ~seed ~lossy:true,
+                  true );
+              `Soak
+                ( Config.Mm_xmm,
+                  workload,
+                  Plan.random ~seed ~lossy:false,
+                  false );
+            ])
+          workloads)
+      (List.init seeds (fun i -> i + 1))
+    (* zero-fault overhead cells: reliability off vs on, perfect net *)
+    @ List.concat_map
+        (fun workload ->
+          [
+            `Soak (Config.Mm_asvm, workload, Plan.none, false);
+            `Soak (Config.Mm_asvm, workload, Plan.none, true);
+          ])
+        workloads
+  in
+  let outcomes =
+    Runner.map ?jobs
+      (fun (`Soak (mm, workload, plan, reliable)) ->
+        run_one ~quick ~mm ~workload ~plan ~reliable ())
+      cells
+  in
+  let chaos, perfect =
+    List.partition (fun o -> o.plan.Plan.rules <> []) outcomes
+  in
+  let overheads =
+    List.map
+      (fun w ->
+        let pick rel =
+          List.find
+            (fun o -> o.workload = w && o.reliable = rel)
+            perfect
+        in
+        let base = pick false and rel = pick true in
+        {
+          oh_workload = w;
+          base_sim_ms = base.sim_ms;
+          rel_sim_ms = rel.sim_ms;
+          base_cpu_s = base.cpu_s;
+          rel_cpu_s = rel.cpu_s;
+          rel_retransmits = rel.retransmits;
+        })
+      workloads
+  in
+  let total_violations =
+    List.fold_left (fun acc o -> acc + List.length o.violations) 0 outcomes
+  in
+  let incomplete =
+    List.length (List.filter (fun o -> not o.completed) outcomes)
+  in
+  { seeds; quick; outcomes = chaos; overheads; total_violations; incomplete }
+
+let pp_outcome ppf o =
+  Format.fprintf ppf "%-5s %-6s %-28s %s%s"
+    (Config.mm_name o.mm) o.workload
+    (Printf.sprintf "%s%s" o.plan.Plan.label
+       (if o.reliable then "+rel" else ""))
+    (if o.completed then
+       Printf.sprintf "ok  sim=%8.1fms retx=%-3d dup=%-3d" o.sim_ms
+         o.retransmits o.duplicates_dropped
+     else Printf.sprintf "FAILED (%s)" (Option.value ~default:"?" o.error))
+    (match o.violations with
+    | [] -> ""
+    | vs -> Printf.sprintf "  %d VIOLATIONS" (List.length vs))
+
+let pp_report ppf r =
+  Format.fprintf ppf "chaos soak: %d seeds%s, %d cells, %d violations, %d incomplete@."
+    r.seeds
+    (if r.quick then " (quick)" else "")
+    (List.length r.outcomes) r.total_violations r.incomplete;
+  List.iter (fun o -> Format.fprintf ppf "  %a@." pp_outcome o) r.outcomes;
+  List.iter
+    (fun o ->
+      List.iter (fun v -> Format.fprintf ppf "    violation: %s@." v) o.violations)
+    r.outcomes;
+  Format.fprintf ppf "zero-fault reliability overhead:@.";
+  List.iter
+    (fun oh ->
+      Format.fprintf ppf
+        "  %-6s sim %8.1f -> %8.1f ms (%+.2f%%)  cpu %.3f -> %.3f s  retx=%d@."
+        oh.oh_workload oh.base_sim_ms oh.rel_sim_ms
+        (if oh.base_sim_ms > 0. then
+           (oh.rel_sim_ms -. oh.base_sim_ms) /. oh.base_sim_ms *. 100.
+         else 0.)
+        oh.base_cpu_s oh.rel_cpu_s oh.rel_retransmits)
+    r.overheads
+
+let outcome_to_json o =
+  Json.Obj
+    [
+      ("mm", Json.String (Config.mm_name o.mm));
+      ("workload", Json.String o.workload);
+      ("plan", Plan.to_json o.plan);
+      ("reliable", Json.Bool o.reliable);
+      ("completed", Json.Bool o.completed);
+      ( "error",
+        match o.error with None -> Json.Null | Some e -> Json.String e );
+      ("violations", Json.List (List.map (fun v -> Json.String v) o.violations));
+      ("retransmits", Json.Int o.retransmits);
+      ("timeouts", Json.Int o.timeouts);
+      ("duplicates_dropped", Json.Int o.duplicates_dropped);
+      ("sim_ms", Json.Float o.sim_ms);
+      ("cpu_s", Json.Float o.cpu_s);
+    ]
+
+let overhead_to_json oh =
+  Json.Obj
+    [
+      ("workload", Json.String oh.oh_workload);
+      ("base_sim_ms", Json.Float oh.base_sim_ms);
+      ("rel_sim_ms", Json.Float oh.rel_sim_ms);
+      ("base_cpu_s", Json.Float oh.base_cpu_s);
+      ("rel_cpu_s", Json.Float oh.rel_cpu_s);
+      ("rel_retransmits", Json.Int oh.rel_retransmits);
+    ]
+
+let to_json r =
+  Json.Obj
+    [
+      ("schema", Json.String "asvm.chaos/v1");
+      ("total_violations", Json.Int r.total_violations);
+      ("incomplete", Json.Int r.incomplete);
+      ("seeds", Json.Int r.seeds);
+      ("quick", Json.Bool r.quick);
+      ("outcomes", Json.List (List.map outcome_to_json r.outcomes));
+      ("overhead", Json.List (List.map overhead_to_json r.overheads));
+    ]

@@ -1,0 +1,75 @@
+(** The chaos soak: every workload under seeded fault plans, audited by
+    {!Invariants.check} after quiesce.
+
+    Each protocol gets the harshest plan it can survive: ASVM runs with
+    reliable STS under {e lossy} plans (drops, duplicates, blackouts);
+    the XMM baseline has no reliability layer over NORMA, so its plans
+    are {e delay-only} ({!Plan.random} with [lossy:false]) — a dropped
+    datagram would hang it, which is a finding about the baseline, not
+    a bug to hunt.
+
+    Every cell is an independent simulation and runs as a pure job on
+    the {!Asvm_runner.Runner} pool; outcomes are independent of [jobs].
+    A violation is reported with its [(seed, plan)] pair, which replays
+    it exactly ([asvm-sim chaos --seed N --workload W --mm M]). *)
+
+(** One workload under one plan. *)
+type outcome = {
+  mm : Asvm_cluster.Config.mm;
+  workload : string;
+  plan : Plan.t;
+  reliable : bool;  (** reliable STS enabled (ASVM only) *)
+  completed : bool;  (** the workload ran to completion *)
+  error : string option;  (** exception text when [not completed] *)
+  violations : string list;  (** from {!Invariants.check} after quiesce *)
+  retransmits : int;
+  timeouts : int;
+  duplicates_dropped : int;
+  sim_ms : float;
+  cpu_s : float;
+}
+
+(** Zero-fault cost of the reliability layer on one ASVM workload:
+    the same run with reliability off ([base_]) and on ([rel_]). *)
+type overhead = {
+  oh_workload : string;
+  base_sim_ms : float;
+  rel_sim_ms : float;
+  base_cpu_s : float;
+  rel_cpu_s : float;
+  rel_retransmits : int;  (** must be 0 on a perfect network *)
+}
+
+type report = {
+  seeds : int;
+  quick : bool;
+  outcomes : outcome list;
+  overheads : overhead list;
+  total_violations : int;
+  incomplete : int;  (** outcomes that crashed or hung *)
+}
+
+(** The soak workload names: ["fault"; "chain"; "file"; "em3d"]. *)
+val workloads : string list
+
+(** Run one cell: [workload] under [plan], with reliable STS iff
+    [reliable].  This is the reproduce-by-seed entry point. *)
+val run_one :
+  ?quick:bool ->
+  mm:Asvm_cluster.Config.mm ->
+  workload:string ->
+  plan:Plan.t ->
+  reliable:bool ->
+  unit ->
+  outcome
+
+(** The full soak: [seeds] random plans per (protocol, workload) plus
+    the zero-fault overhead cells.  [quick] shrinks the workload sizes
+    for CI. *)
+val run : ?jobs:int -> ?seeds:int -> ?quick:bool -> unit -> report
+
+val pp_report : Format.formatter -> report -> unit
+
+(** Schema ["asvm.chaos/v1"]; [total_violations] and [incomplete] are
+    top-level so CI can grep the report without parsing it. *)
+val to_json : report -> Asvm_obs.Json.t

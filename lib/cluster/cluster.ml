@@ -49,6 +49,7 @@ let create (config : Config.t) =
   let topo = Topology.create ~nodes:config.nodes in
   let metrics = Metrics.Registry.create () in
   let net = Network.create ~metrics engine config.net topo in
+  Network.set_interposer net config.net_interposer;
   let ids = Ids.Alloc.create () in
   let io_disk = Disk.create engine config.disk in
   let default_pager =
@@ -390,6 +391,10 @@ end
 
 let object_pagers t obj =
   match Hashtbl.find_opt t.pagers obj with Some l -> l | None -> []
+
+let registered_objects t =
+  Hashtbl.fold (fun obj sharers acc -> (obj, sharers) :: acc) t.registered []
+  |> List.sort compare
 
 (* ------------------------------------------------------------------ *)
 (* Range locking (ASVM only; paper section 6)                         *)

@@ -140,6 +140,12 @@ end
 val object_pagers :
   t -> Asvm_machvm.Ids.obj_id -> Asvm_pager.Store_pager.t list
 
+(** Every distributed object this cluster knows about, with its sharer
+    set, in ascending object order — the universe the chaos invariant
+    checker audits. *)
+val registered_objects :
+  t -> (Asvm_machvm.Ids.obj_id * int list) list
+
 (** {1 Range locking (ASVM only; paper section 6)} *)
 
 (** [lock_range t ~task ~start ~npages k]: acquire write ownership of

@@ -15,6 +15,7 @@ type t = {
   barrier_ms : float;
   trace_capacity : int option;
   trace_out : string option;
+  net_interposer : Asvm_mesh.Network.interposer option;
 }
 
 let default ~nodes =
@@ -33,6 +34,7 @@ let default ~nodes =
     barrier_ms = 0.4;
     trace_capacity = None;
     trace_out = None;
+    net_interposer = None;
   }
 
 let with_mm t mm = { t with mm }

@@ -24,6 +24,12 @@ type t = {
   trace_out : string option;
       (** stream every trace event as one JSON object per line to this
           file (see [docs/OBSERVABILITY.md] for the schema) *)
+  net_interposer : Asvm_mesh.Network.interposer option;
+      (** chaos fault-injection hook installed on the mesh at cluster
+          creation, perturbing {e every} transport (STS and NORMA alike);
+          [None] (default) leaves the network perfect.  Compile one from
+          a fault plan with [Asvm_chaos.Plan.net_interposer]; see
+          [docs/RELIABILITY.md] *)
 }
 
 (** Paragon GP defaults: 16 MB nodes (~9 MB for user pages), ASVM. *)

@@ -242,6 +242,8 @@ let counters t = t.counters
 let now t = Engine.now (Vm.engine t.vms.(0))
 let sts_messages t = Sts.messages t.sts
 let sts_page_messages t = Sts.page_messages t.sts
+let sts_retransmits t = Sts.retransmits t.sts
+let buffers_reserved t ~node = Sts.buffers_reserved t.sts ~node
 
 let inst t node obj =
   match Hashtbl.find_opt t.insts (node, obj) with
@@ -1517,7 +1519,7 @@ let create ~net ~(config : config) ~vms ~words_per_page ?metrics ?trace () =
   let metrics =
     match metrics with Some m -> m | None -> Metrics.Registry.create ()
   in
-  let sts = Sts.create ~metrics net config.sts in
+  let sts = Sts.create ~metrics ?trace net config.sts in
   let t =
     {
       sts;

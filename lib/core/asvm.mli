@@ -141,6 +141,16 @@ val release_page :
 
 val sts_messages : t -> int
 val sts_page_messages : t -> int
+
+(** Messages retransmitted by the reliable-STS layer (0 unless
+    [config.sts.reliability] is enabled). *)
+val sts_retransmits : t -> int
+
+(** Outstanding STS page receive buffers reserved at [node].  Zero on a
+    quiescent system — every reservation is released when its reply is
+    consumed — which the chaos invariant checker asserts. *)
+val buffers_reserved : t -> node:int -> int
+
 val counters : t -> Asvm_simcore.Stats.Counters.t
 
 (** Owner-state entries currently held at [node] for [obj] — the

@@ -22,6 +22,13 @@ type handles = {
   h_tx_backlog : Metrics.Histogram.t;
 }
 
+type decision = { deliveries : float list }
+
+let pass = { deliveries = [ 0. ] }
+
+type interposer =
+  now:float -> index:int -> src:int -> dst:int -> bytes:int -> decision
+
 type t = {
   engine : Engine.t;
   config : config;
@@ -30,6 +37,7 @@ type t = {
   rx : Station.t array;
   mutable messages : int;
   mutable bytes_sent : int;
+  mutable interposer : interposer option;
   handles : handles option;
 }
 
@@ -43,6 +51,7 @@ let create ?metrics engine config topology =
     rx = Array.init n (fun _ -> Station.create engine);
     messages = 0;
     bytes_sent = 0;
+    interposer = None;
     handles =
       Option.map
         (fun m ->
@@ -56,6 +65,7 @@ let create ?metrics engine config topology =
 
 let topology t = t.topology
 let engine t = t.engine
+let set_interposer t f = t.interposer <- f
 
 let wire_latency t ~src ~dst ~bytes =
   if src = dst then 0.
@@ -68,7 +78,11 @@ let wire_latency t ~src ~dst ~bytes =
 let send t ~src ~dst ~bytes ~sw_send ~sw_recv k =
   let n = Topology.nodes t.topology in
   if src < 0 || src >= n || dst < 0 || dst >= n then
-    invalid_arg "Network.send: bad node id";
+    invalid_arg
+      (Printf.sprintf
+         "Network.send: node id out of range (src=%d dst=%d nodes=%d)" src dst
+         n);
+  let index = t.messages in
   t.messages <- t.messages + 1;
   t.bytes_sent <- t.bytes_sent + bytes;
   (match t.handles with
@@ -85,9 +99,22 @@ let send t ~src ~dst ~bytes ~sw_send ~sw_recv k =
   let wire = wire_latency t ~src ~dst ~bytes in
   (* The sender's software path occupies its tx station; the wire adds pure
      latency; the receiver's software path occupies its rx station. *)
-  Station.submit t.tx.(src) ~service:sw_send (fun () ->
-      Engine.schedule t.engine ~delay:wire (fun () ->
-          Station.submit t.rx.(dst) ~service:sw_recv k))
+  let deliver extra =
+    Station.submit t.tx.(src) ~service:sw_send (fun () ->
+        Engine.schedule t.engine ~delay:(wire +. extra) (fun () ->
+            Station.submit t.rx.(dst) ~service:sw_recv k))
+  in
+  match t.interposer with
+  | None -> deliver 0.
+  | Some f -> (
+    match
+      (f ~now:(Engine.now t.engine) ~index ~src ~dst ~bytes).deliveries
+    with
+    | [] ->
+      (* dropped on the wire: the sender still pays its software path,
+         the receiver never hears about it *)
+      Station.submit t.tx.(src) ~service:sw_send (fun () -> ())
+    | ds -> List.iter deliver ds)
 
 let messages t = t.messages
 let bytes_sent t = t.bytes_sent

@@ -23,6 +23,33 @@ val paragon_config : config
 
 type t
 
+(** {1 Fault interposition}
+
+    A chaos interposer (see [lib/chaos]) observes every message at the
+    moment it would enter the sender's transmit station and decides how
+    many copies reach the receiver and how much extra wire delay each
+    copy pays.  The decision must be a pure function of its arguments:
+    [index] is the network-wide message ordinal (0-based, assigned in
+    send order), which the deterministic engine makes reproducible for
+    a fixed workload and seed, independent of host parallelism. *)
+
+(** One entry per delivered copy, each the extra wire latency (ms) that
+    copy pays on top of the modeled wire time.  [[]] drops the message
+    (the sender still pays its software path — the message died on the
+    wire); [[ 0. ]] is unperturbed delivery; two or more entries
+    duplicate the message. *)
+type decision = { deliveries : float list }
+
+(** [{ deliveries = [ 0. ] }] — deliver exactly once, unperturbed. *)
+val pass : decision
+
+type interposer =
+  now:float -> index:int -> src:int -> dst:int -> bytes:int -> decision
+
+(** Install (or remove, with [None]) the fault interposer.  With no
+    interposer installed the send path is exactly the unperturbed one. *)
+val set_interposer : t -> interposer option -> unit
+
 (** [create ?metrics engine config topology].  When [metrics] is
     given, each send bumps the [net.messages] / [net.bytes] counters
     and samples the sender's transmit-queue backlog (ms of queued
@@ -39,7 +66,9 @@ val engine : t -> Asvm_simcore.Engine.t
 
 (** [send t ~src ~dst ~bytes ~sw_send ~sw_recv k] models one message.
     [src = dst] is allowed (loopback skips the wire but still pays the
-    software path). *)
+    software path).
+    @raise Invalid_argument when [src] or [dst] is outside the
+    topology, naming the offending ids and the node count. *)
 val send :
   t ->
   src:int ->

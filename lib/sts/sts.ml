@@ -1,4 +1,39 @@
 module Network = Asvm_mesh.Network
+module Engine = Asvm_simcore.Engine
+module Trace = Asvm_obs.Trace
+
+exception Protocol_violation of { node : int; what : string }
+
+let () =
+  Printexc.register_printer (function
+    | Protocol_violation { node; what } ->
+      Some (Printf.sprintf "Sts.Protocol_violation(node=%d: %s)" node what)
+    | _ -> None)
+
+type decision = { deliveries : float list }
+
+let pass = { deliveries = [ 0. ] }
+
+type interposer =
+  now:float ->
+  index:int ->
+  src:int ->
+  dst:int ->
+  carries_page:bool ->
+  decision
+
+type reliability = {
+  ack_timeout_ms : float;
+  backoff : float;
+  max_retransmits : int;
+}
+
+(* The worst honest round trip is a page-carrying reply into a busy
+   receive station (~1.5 ms); 4 ms leaves headroom without stretching
+   the recovery tail, and doubling keeps a congested link from melting
+   under its own retransmissions. *)
+let default_reliability =
+  { ack_timeout_ms = 4.0; backoff = 2.0; max_retransmits = 10 }
 
 type config = {
   sw_send_ms : float;
@@ -6,6 +41,8 @@ type config = {
   page_extra_ms : float;
   header_bytes : int;
   page_buffers : int;
+  reliability : reliability option;
+  interposer : interposer option;
 }
 
 (* Both software paths are thin (a 32-byte untyped block goes straight
@@ -20,6 +57,8 @@ let default_config =
     page_extra_ms = 0.45;
     header_bytes = 32;
     page_buffers = 64;
+    reliability = None;
+    interposer = None;
   }
 
 let page_bytes = 8192
@@ -36,6 +75,35 @@ type handles = {
   h_buffers : Metrics.Gauge.t;
 }
 
+(* Registered only when reliability is on, so the disabled-case metric
+   snapshot stays byte-identical to the historical one. *)
+type rel_handles = {
+  h_retransmits : Metrics.Counter.t;
+  h_timeouts : Metrics.Counter.t;
+  h_dups : Metrics.Counter.t;
+}
+
+(* One logical message awaiting acknowledgment at its sender. *)
+type 'msg pending = {
+  p_seq : int;
+  p_src : int;
+  p_dst : int;
+  p_page : bool;
+  p_payload : 'msg;
+  mutable p_acked : bool;
+  mutable p_retransmits : int;
+}
+
+type 'msg reliable = {
+  rel : reliability;
+  next_seq : (int * int, int) Hashtbl.t;  (* per (src, dst) link *)
+  pending : (int * int * int, 'msg pending) Hashtbl.t;  (* (src, dst, seq) *)
+  delivered : (int * int * int, unit) Hashtbl.t;  (* receiver-side dedup *)
+  rh : rel_handles option;
+  mutable n_retransmits : int;
+  mutable n_dups : int;
+}
+
 type 'msg t = {
   net : Network.t;
   config : config;
@@ -43,10 +111,13 @@ type 'msg t = {
   reserved : int array;
   mutable messages : int;
   mutable page_messages : int;
+  mutable transmissions : int;  (* interposer index: data copies only *)
+  reliable : 'msg reliable option;
   handles : handles option;
+  trace : Trace.t option;
 }
 
-let create ?metrics net config =
+let create ?metrics ?trace net config =
   let n = Asvm_mesh.Topology.nodes (Network.topology net) in
   {
     net;
@@ -55,6 +126,29 @@ let create ?metrics net config =
     reserved = Array.make n 0;
     messages = 0;
     page_messages = 0;
+    transmissions = 0;
+    reliable =
+      Option.map
+        (fun rel ->
+          {
+            rel;
+            next_seq = Hashtbl.create 64;
+            pending = Hashtbl.create 64;
+            delivered = Hashtbl.create 256;
+            rh =
+              Option.map
+                (fun m ->
+                  {
+                    h_retransmits = Metrics.Registry.counter m "sts.retransmits";
+                    h_timeouts = Metrics.Registry.counter m "sts.timeouts";
+                    h_dups =
+                      Metrics.Registry.counter m "sts.duplicates_dropped";
+                  })
+                metrics;
+            n_retransmits = 0;
+            n_dups = 0;
+          })
+        config.reliability;
     handles =
       Option.map
         (fun m ->
@@ -69,6 +163,7 @@ let create ?metrics net config =
             h_buffers = Metrics.Registry.gauge m "sts.buffers_reserved";
           })
         metrics;
+    trace;
   }
 
 let register t ~node handler = t.handlers.(node) <- Some handler
@@ -92,39 +187,187 @@ let reserve_buffer t ~node =
   end
 
 let release_buffer t ~node =
-  if t.reserved.(node) <= 0 then failwith "Sts.release_buffer: pool underflow";
+  if t.reserved.(node) <= 0 then
+    raise
+      (Protocol_violation { node; what = "release_buffer: pool underflow" });
   t.reserved.(node) <- t.reserved.(node) - 1;
   buffers_gauge t (-1.);
   if debug && node = 0 then
     Printf.eprintf "[sts] release node=%d -> %d\n%!" node t.reserved.(node)
 
 let buffers_reserved t ~node = t.reserved.(node)
+let engine t = Network.engine t.net
+let now t = Engine.now (engine t)
+
+let note t ~node ~category detail =
+  Trace.emit t.trace ~time:(now t) ~node (Trace.Note { category; detail })
+
+(* ------------------------------------------------------------------ *)
+(* Physical transmission                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Push one copy of a data message through the network, subject to the
+   logical-level interposer.  [k] runs at the receiver after transport
+   costs, once per copy the interposer lets through. *)
+let transmit t ~src ~dst ~carries_page k =
+  let c = t.config in
+  let extra = if carries_page then c.page_extra_ms else 0. in
+  let bytes = c.header_bytes + if carries_page then page_bytes else 0 in
+  let net_send () =
+    Network.send t.net ~src ~dst ~bytes ~sw_send:(c.sw_send_ms +. extra)
+      ~sw_recv:(c.sw_recv_ms +. extra) k
+  in
+  match c.interposer with
+  | None -> net_send ()
+  | Some f ->
+    let index = t.transmissions in
+    t.transmissions <- t.transmissions + 1;
+    let d = f ~now:(now t) ~index ~src ~dst ~carries_page in
+    List.iter
+      (fun delay ->
+        if delay <= 0. then net_send ()
+        else Engine.schedule (engine t) ~delay net_send)
+      d.deliveries
+
+(* Acks are plain 32-byte messages, below the interposer (the network
+   layer can still perturb them) — losing an ack is indistinguishable
+   from losing the data and triggers the same retransmission. *)
+let send_ack t ~src ~dst k =
+  let c = t.config in
+  Network.send t.net ~src ~dst ~bytes:c.header_bytes ~sw_send:c.sw_send_ms
+    ~sw_recv:c.sw_recv_ms k
+
+(* ------------------------------------------------------------------ *)
+(* Reliability                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let on_ack r key =
+  match Hashtbl.find_opt r.pending key with
+  | None -> () (* ack of a retransmitted copy that already completed *)
+  | Some p ->
+    p.p_acked <- true;
+    Hashtbl.remove r.pending key
+
+(* Receiver side of a reliable data message: suppress duplicates,
+   acknowledge every copy (the sender may have missed earlier acks),
+   hand fresh messages to the registered handler. *)
+let deliver_reliable t r (p : 'msg pending) =
+  let key = (p.p_src, p.p_dst, p.p_seq) in
+  let fresh = not (Hashtbl.mem r.delivered key) in
+  if fresh then Hashtbl.replace r.delivered key ()
+  else begin
+    r.n_dups <- r.n_dups + 1;
+    (match r.rh with
+    | Some h -> Metrics.Counter.incr h.h_dups
+    | None -> ());
+    note t ~node:p.p_dst ~category:"sts.duplicate_dropped"
+      (Printf.sprintf "src=%d seq=%d" p.p_src p.p_seq)
+  end;
+  send_ack t ~src:p.p_dst ~dst:p.p_src (fun () -> on_ack r key);
+  if fresh then
+    match t.handlers.(p.p_dst) with
+    | Some handler -> handler p.p_payload
+    | None ->
+      raise
+        (Protocol_violation
+           { node = p.p_dst; what = "handler unregistered mid-flight" })
+
+let transmit_reliable t r (p : 'msg pending) =
+  transmit t ~src:p.p_src ~dst:p.p_dst ~carries_page:p.p_page (fun () ->
+      deliver_reliable t r p)
+
+let rec arm_timer t r (p : 'msg pending) ~timeout =
+  Engine.schedule (engine t) ~delay:timeout (fun () ->
+      if not p.p_acked then begin
+        (match r.rh with
+        | Some h -> Metrics.Counter.incr h.h_timeouts
+        | None -> ());
+        note t ~node:p.p_src ~category:"sts.timeout"
+          (Printf.sprintf "dst=%d seq=%d after %.2fms" p.p_dst p.p_seq timeout);
+        if p.p_retransmits >= r.rel.max_retransmits then
+          raise
+            (Protocol_violation
+               {
+                 node = p.p_src;
+                 what =
+                   Printf.sprintf
+                     "reliable send to node %d gave up after %d retransmits \
+                      (seq=%d)"
+                     p.p_dst r.rel.max_retransmits p.p_seq;
+               })
+        else begin
+          p.p_retransmits <- p.p_retransmits + 1;
+          r.n_retransmits <- r.n_retransmits + 1;
+          (match r.rh with
+          | Some h -> Metrics.Counter.incr h.h_retransmits
+          | None -> ());
+          note t ~node:p.p_src ~category:"sts.retransmit"
+            (Printf.sprintf "dst=%d seq=%d attempt=%d" p.p_dst p.p_seq
+               (p.p_retransmits + 1));
+          transmit_reliable t r p;
+          arm_timer t r p ~timeout:(timeout *. r.rel.backoff)
+        end
+      end)
+
+(* ------------------------------------------------------------------ *)
+(* Logical send                                                        *)
+(* ------------------------------------------------------------------ *)
 
 let send t ~src ~dst ?(carries_page = false) msg =
   let handler =
     match t.handlers.(dst) with
     | Some h -> h
-    | None -> failwith "Sts.send: no handler registered at destination"
+    | None ->
+      raise
+        (Protocol_violation
+           { node = dst; what = "send: no handler registered at destination" })
   in
   if carries_page && t.reserved.(dst) <= 0 then
-    failwith
-      (Printf.sprintf
-         "Sts.send: page sent without a reserved receive buffer (src=%d \
-          dst=%d)"
-         src dst);
+    raise
+      (Protocol_violation
+         {
+           node = dst;
+           what =
+             Printf.sprintf
+               "send: page sent without a reserved receive buffer (src=%d)" src;
+         });
   t.messages <- t.messages + 1;
   if carries_page then t.page_messages <- t.page_messages + 1;
-  let c = t.config in
-  let extra = if carries_page then c.page_extra_ms else 0. in
-  let bytes = c.header_bytes + if carries_page then page_bytes else 0 in
   (match t.handles with
   | None -> ()
   | Some h ->
     Metrics.Counter.incr (if carries_page then h.h_msgs_page else h.h_msgs_plain);
-    Metrics.Counter.incr ~by:bytes h.h_bytes);
-  Network.send t.net ~src ~dst ~bytes ~sw_send:(c.sw_send_ms +. extra)
-    ~sw_recv:(c.sw_recv_ms +. extra)
-    (fun () -> handler msg)
+    Metrics.Counter.incr
+      ~by:(t.config.header_bytes + if carries_page then page_bytes else 0)
+      h.h_bytes);
+  match t.reliable with
+  | None -> transmit t ~src ~dst ~carries_page (fun () -> handler msg)
+  | Some r ->
+    let link = (src, dst) in
+    let seq =
+      match Hashtbl.find_opt r.next_seq link with Some s -> s | None -> 0
+    in
+    Hashtbl.replace r.next_seq link (seq + 1);
+    let p =
+      {
+        p_seq = seq;
+        p_src = src;
+        p_dst = dst;
+        p_page = carries_page;
+        p_payload = msg;
+        p_acked = false;
+        p_retransmits = 0;
+      }
+    in
+    Hashtbl.replace r.pending (src, dst, seq) p;
+    transmit_reliable t r p;
+    arm_timer t r p ~timeout:r.rel.ack_timeout_ms
 
 let messages t = t.messages
 let page_messages t = t.page_messages
+
+let retransmits t =
+  match t.reliable with None -> 0 | Some r -> r.n_retransmits
+
+let duplicates_dropped t =
+  match t.reliable with None -> 0 | Some r -> r.n_dups

@@ -8,7 +8,59 @@
     pool that requesters draw from before asking for data.
 
     The software path is far cheaper than NORMA's: no typed marshalling,
-    no port-right bookkeeping. *)
+    no port-right bookkeeping.
+
+    Two opt-in extensions support chaos testing (see [lib/chaos] and
+    [docs/RELIABILITY.md]):
+    - a fault {!interposer} perturbing the logical message stream
+      (drop / delay / duplicate), and
+    - a {!reliability} layer (sequence numbers, acks, timeout +
+      exponential-backoff retransmission via engine timers, receiver-side
+      duplicate suppression) that masks such perturbation.
+    With both left at their defaults the send path is exactly the
+    historical unreliable-datagram one. *)
+
+(** Structured protocol violation: the transport's flow-control or
+    addressing contract was broken at [node].  Machine-readable so the
+    invariant checker and the reliability layer can report precisely
+    which node misbehaved. *)
+exception Protocol_violation of { node : int; what : string }
+
+(** {1 Fault interposition} *)
+
+(** Same shape as {!Asvm_mesh.Network.decision}, applied to logical STS
+    messages before they hit the network: one entry per transmitted
+    copy, each the extra delay (ms) before the copy enters the network;
+    [[]] suppresses transmission entirely. *)
+type decision = { deliveries : float list }
+
+(** [{ deliveries = [ 0. ] }] — transmit exactly once, unperturbed. *)
+val pass : decision
+
+(** [index] is the per-transport ordinal of physical data transmissions
+    (retransmissions included, acks excluded), deterministic for a
+    fixed workload and seed. *)
+type interposer =
+  now:float ->
+  index:int ->
+  src:int ->
+  dst:int ->
+  carries_page:bool ->
+  decision
+
+(** {1 Reliability} *)
+
+type reliability = {
+  ack_timeout_ms : float;  (** initial retransmission timeout *)
+  backoff : float;  (** timeout multiplier after each retransmission *)
+  max_retransmits : int;
+      (** per message; exceeding it raises {!Protocol_violation} at the
+          sender — the link is considered broken, not slow *)
+}
+
+(** 4 ms initial timeout (several times the worst page-carrying round
+    trip), doubling per retry, at most 10 retransmissions. *)
+val default_reliability : reliability
 
 type config = {
   sw_send_ms : float;
@@ -16,28 +68,45 @@ type config = {
   page_extra_ms : float;  (** extra cost each side to stage an 8 KB page *)
   header_bytes : int;  (** fixed untyped block, 32 bytes in the paper *)
   page_buffers : int;  (** preallocated receive buffers per node *)
+  reliability : reliability option;
+      (** [Some r] sequences every message, acknowledges delivery and
+          retransmits on timeout; [None] (default) is the historical
+          unreliable datagram service *)
+  interposer : interposer option;
+      (** fault-injection hook over logical STS transmissions;
+          [None] (default) leaves the stream untouched *)
 }
 
 val default_config : config
 
 type 'msg t
 
-(** [create ?metrics net config] builds a transport over [net].  When
-    [metrics] is given, every send bumps the [sts.messages] (labeled
-    [page=true|false]) and [sts.bytes] counters, and the credit pool
-    is mirrored in the [sts.buffers_reserved] gauge (summed over
-    nodes). *)
-val create : ?metrics:Asvm_obs.Metrics.Registry.t -> Asvm_mesh.Network.t -> config -> 'msg t
+(** [create ?metrics ?trace net config] builds a transport over [net].
+    When [metrics] is given, every send bumps the [sts.messages]
+    (labeled [page=true|false]) and [sts.bytes] counters, and the credit
+    pool is mirrored in the [sts.buffers_reserved] gauge (summed over
+    nodes).  With [config.reliability] enabled, [sts.retransmits],
+    [sts.timeouts] and [sts.duplicates_dropped] counters appear too, and
+    [trace] receives one [Note] event per retransmission, expired timer
+    and suppressed duplicate. *)
+val create :
+  ?metrics:Asvm_obs.Metrics.Registry.t ->
+  ?trace:Asvm_obs.Trace.t ->
+  Asvm_mesh.Network.t ->
+  config ->
+  'msg t
 
 (** Install the per-node message handler. Must be called once per node
     before any [send] targets it. *)
 val register : 'msg t -> node:int -> ('msg -> unit) -> unit
 
 (** [send t ~src ~dst ?carries_page msg] delivers [msg] to [dst]'s
-    handler after transport costs.
-    @raise Failure if [dst] has no registered handler.
-    @raise Failure if [carries_page] and no buffer is reserved at [dst]
-    (flow-control violation: pages only flow on behalf of a request). *)
+    handler after transport costs.  Counted once as a logical message
+    regardless of how often the reliability layer retransmits it.
+    @raise Protocol_violation if [dst] has no registered handler.
+    @raise Protocol_violation if [carries_page] and no buffer is
+    reserved at [dst] (flow-control violation: pages only flow on
+    behalf of a request). *)
 val send : 'msg t -> src:int -> dst:int -> ?carries_page:bool -> 'msg -> unit
 
 (** Reserve a preallocated page receive buffer at [node] before issuing a
@@ -46,11 +115,20 @@ val send : 'msg t -> src:int -> dst:int -> ?carries_page:bool -> 'msg -> unit
 val reserve_buffer : 'msg t -> node:int -> bool
 
 (** Return a previously reserved buffer at [node] once the page has been
-    consumed. @raise Failure on over-release. *)
+    consumed. @raise Protocol_violation on over-release. *)
 val release_buffer : 'msg t -> node:int -> unit
 
 (** Currently reserved buffers at [node] (for invariant checks). *)
 val buffers_reserved : 'msg t -> node:int -> int
 
+(** Logical messages sent (excluding acks and retransmissions). *)
 val messages : 'msg t -> int
+
 val page_messages : 'msg t -> int
+
+(** Messages retransmitted by the reliability layer so far (0 when
+    reliability is off). *)
+val retransmits : 'msg t -> int
+
+(** Duplicate deliveries suppressed by the reliability layer so far. *)
+val duplicates_dropped : 'msg t -> int

@@ -12,10 +12,10 @@ type result = {
   metrics : Asvm_obs.Metrics.snapshot;
 }
 
-let measure ~mm ~chain ?(pages = 16) () =
+let measure ~mm ~chain ?(pages = 16) ?(tweak = Fun.id) ?(inspect = ignore) () =
   if chain < 1 then invalid_arg "Copy_chain.measure: chain < 1";
   let nodes = chain + 1 in
-  let config = Config.with_mm (Config.default ~nodes) mm in
+  let config = tweak (Config.with_mm (Config.default ~nodes) mm) in
   let cl = Cluster.create config in
   let wpp = (Cluster.config cl).Config.vm.words_per_page in
   (* the source task initializes the whole region on node 0 *)
@@ -53,6 +53,7 @@ let measure ~mm ~chain ?(pages = 16) () =
     | None -> failwith "copy chain fault did not complete");
     Stats.Tally.add tally (Cluster.now cl -. f0)
   done;
+  inspect cl;
   {
     chain;
     mean_fault_ms = Stats.Tally.mean tally;

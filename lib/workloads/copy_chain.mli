@@ -14,8 +14,17 @@ type result = {
   metrics : Asvm_obs.Metrics.snapshot;  (** end-of-run registry snapshot *)
 }
 
+(** [tweak] rewrites the cluster configuration before creation (chaos
+    fault plans); [inspect] runs against the drained cluster after the
+    fault loop (chaos invariant checks). *)
 val measure :
-  mm:Asvm_cluster.Config.mm -> chain:int -> ?pages:int -> unit -> result
+  mm:Asvm_cluster.Config.mm ->
+  chain:int ->
+  ?pages:int ->
+  ?tweak:(Asvm_cluster.Config.t -> Asvm_cluster.Config.t) ->
+  ?inspect:(Asvm_cluster.Cluster.t -> unit) ->
+  unit ->
+  result
 
 (** Sweep chain lengths; returns the per-chain results and the fitted
     [(lb, la)] of the latency model.  Each chain length runs as an

@@ -110,7 +110,8 @@ let make_plans ~params ~pages_per_array =
   end;
   plans
 
-let run ~mm ?memory_pages ?(internode_paging = true) ?audit params =
+let run ~mm ?memory_pages ?(internode_paging = true) ?audit ?(tweak = Fun.id)
+    ?(inspect = ignore) params =
   let { cells; nodes; iterations; _ } = params in
   if cells <= 0 || nodes <= 0 || iterations <= 0 then
     invalid_arg "Em3d.run: bad parameters";
@@ -124,7 +125,7 @@ let run ~mm ?memory_pages ?(internode_paging = true) ?audit params =
     | None -> config
   in
   let config =
-    { config with asvm = { config.asvm with internode_paging } }
+    tweak { config with asvm = { config.asvm with internode_paging } }
   in
   let cl = Cluster.create config in
   let sharers = List.init nodes Fun.id in
@@ -193,6 +194,7 @@ let run ~mm ?memory_pages ?(internode_paging = true) ?audit params =
   (match (audit, Cluster.backend cl) with
   | Some f, `Asvm a -> f a
   | Some _, `Xmm _ | None, _ -> ());
+  inspect cl;
   let faults =
     Array.fold_left (fun acc vm -> acc + Vm.faults vm) 0
       (Array.init nodes (Cluster.node_vm cl))

@@ -51,12 +51,17 @@ val fits : cells:int -> nodes:int -> memory_pages_per_node:int -> bool
 (** Run the benchmark. [memory_pages] overrides the per-node memory
     (the paper ran sequential measurements on a 32 MB node). [audit]
     runs against the ASVM instance after the benchmark drains — for
-    invariant checks in tests. *)
+    invariant checks in tests. [tweak] rewrites the cluster
+    configuration before creation (chaos fault plans); [inspect] runs
+    against the drained cluster after the benchmark (cluster-level
+    chaos invariant checks, both backends). *)
 val run :
   mm:Asvm_cluster.Config.mm ->
   ?memory_pages:int ->
   ?internode_paging:bool ->
   ?audit:(Asvm_core.Asvm.t -> unit) ->
+  ?tweak:(Asvm_cluster.Config.t -> Asvm_cluster.Config.t) ->
+  ?inspect:(Asvm_cluster.Cluster.t -> unit) ->
   params ->
   result
 

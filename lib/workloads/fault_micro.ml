@@ -27,7 +27,8 @@ type instrumented = {
 
 (* Node roles: 0 = I/O node (pager; XMM manager too), 1 = initializer,
    2.. = additional readers, last = faulting node. *)
-let measure_instrumented ?(nodes = 72) ?trace_out ~mm kind =
+let measure_instrumented ?(nodes = 72) ?trace_out ?(tweak = Fun.id)
+    ?(inspect = ignore) ~mm kind =
   let needed =
     match kind with
     | Write_fault { read_copies } -> read_copies + 2
@@ -36,7 +37,7 @@ let measure_instrumented ?(nodes = 72) ?trace_out ~mm kind =
   in
   if nodes < needed then invalid_arg "Fault_micro.measure: too few nodes";
   let config = Config.with_mm (Config.default ~nodes) mm in
-  let config = { config with Config.trace_out } in
+  let config = tweak { config with Config.trace_out } in
   let cl = Cluster.create config in
   let sharers = List.init nodes Fun.id in
   let obj = Cluster.create_shared_object cl ~size_pages:4 ~sharers () in
@@ -86,6 +87,7 @@ let measure_instrumented ?(nodes = 72) ?trace_out ~mm kind =
   Cluster.run cl;
   assert !done_;
   let latency_ms = Cluster.now cl -. t0 in
+  inspect cl;
   let run_metrics = Cluster.metrics_snapshot cl in
   {
     latency_ms;

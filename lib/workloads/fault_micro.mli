@@ -31,10 +31,15 @@ type instrumented = {
 
 (** Like {!measure}, returning the registry evidence alongside the
     latency. [trace_out] streams the whole run's trace (setup included)
-    as JSONL to that file. *)
+    as JSONL to that file. [tweak] rewrites the cluster configuration
+    before creation (chaos fault plans, reliability settings); [inspect]
+    runs against the drained cluster after the measured fault (chaos
+    invariant checks). *)
 val measure_instrumented :
   ?nodes:int ->
   ?trace_out:string ->
+  ?tweak:(Asvm_cluster.Config.t -> Asvm_cluster.Config.t) ->
+  ?inspect:(Asvm_cluster.Cluster.t -> unit) ->
   mm:Asvm_cluster.Config.mm ->
   fault_kind ->
   instrumented

@@ -15,8 +15,8 @@ type result = {
 let page_bytes = 8192.
 let mb = 1024. *. 1024.
 
-let setup ~mm ~nodes ~file_pages ~with_data ~stripes =
-  let config = Config.with_mm (Config.default ~nodes) mm in
+let setup ~mm ~nodes ~file_pages ~with_data ~stripes ~tweak =
+  let config = tweak (Config.with_mm (Config.default ~nodes) mm) in
   let cl = Cluster.create config in
   let obj =
     if with_data then
@@ -61,13 +61,17 @@ let run_concurrent cl tasks ~pages_of ~want =
   if !remaining <> 0 then failwith "File_io: some nodes did not finish";
   finish
 
-let write_test ~mm ~nodes ?(file_mb = 4) ?(stripes = 1) () =
+let write_test ~mm ~nodes ?(file_mb = 4) ?(stripes = 1) ?(tweak = Fun.id)
+    ?(inspect = ignore) () =
   let file_pages = file_mb * 128 in
-  let cl, pagers, tasks = setup ~mm ~nodes ~file_pages ~with_data:false ~stripes in
+  let cl, pagers, tasks =
+    setup ~mm ~nodes ~file_pages ~with_data:false ~stripes ~tweak
+  in
   let section = file_pages / nodes in
   let pages_of node = List.init section (fun i -> (node * section) + i) in
   let t0 = Cluster.now cl in
   let finish = run_concurrent cl tasks ~pages_of ~want:Prot.Read_write in
+  inspect cl;
   let per_node_rates =
     Array.map
       (fun t ->
@@ -85,12 +89,16 @@ let write_test ~mm ~nodes ?(file_mb = 4) ?(stripes = 1) () =
     metrics = Cluster.metrics_snapshot cl;
   }
 
-let read_test ~mm ~nodes ?(file_mb = 4) ?(stripes = 1) () =
+let read_test ~mm ~nodes ?(file_mb = 4) ?(stripes = 1) ?(tweak = Fun.id)
+    ?(inspect = ignore) () =
   let file_pages = file_mb * 128 in
-  let cl, pagers, tasks = setup ~mm ~nodes ~file_pages ~with_data:true ~stripes in
+  let cl, pagers, tasks =
+    setup ~mm ~nodes ~file_pages ~with_data:true ~stripes ~tweak
+  in
   let pages_of _node = List.init file_pages Fun.id in
   let t0 = Cluster.now cl in
   let finish = run_concurrent cl tasks ~pages_of ~want:Prot.Read_only in
+  inspect cl;
   let per_node_rates =
     Array.map
       (fun t ->

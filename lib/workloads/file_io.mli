@@ -20,12 +20,17 @@ type result = {
 }
 
 (** [stripes > 1] spreads the file over several pager tasks served
-    round-robin by page — the section 6 striping proposal (ASVM only). *)
+    round-robin by page — the section 6 striping proposal (ASVM only).
+    [tweak] rewrites the cluster configuration before creation (chaos
+    fault plans); [inspect] runs against the drained cluster after all
+    nodes finish (chaos invariant checks). *)
 val write_test :
   mm:Asvm_cluster.Config.mm ->
   nodes:int ->
   ?file_mb:int ->
   ?stripes:int ->
+  ?tweak:(Asvm_cluster.Config.t -> Asvm_cluster.Config.t) ->
+  ?inspect:(Asvm_cluster.Cluster.t -> unit) ->
   unit ->
   result
 
@@ -34,6 +39,8 @@ val read_test :
   nodes:int ->
   ?file_mb:int ->
   ?stripes:int ->
+  ?tweak:(Asvm_cluster.Config.t -> Asvm_cluster.Config.t) ->
+  ?inspect:(Asvm_cluster.Cluster.t -> unit) ->
   unit ->
   result
 

@@ -64,6 +64,32 @@ let test_loopback_free_wire () =
     "loopback has no wire latency" 0.
     (Network.wire_latency net ~src:2 ~dst:2 ~bytes:8192)
 
+let test_loopback_delivery () =
+  (* src = dst skips the wire but still pays both software paths and
+     actually delivers *)
+  let e, net = make_net () in
+  let arrived = ref (-1.) in
+  Network.send net ~src:2 ~dst:2 ~bytes:32 ~sw_send:0.1 ~sw_recv:0.3 (fun () ->
+      arrived := Engine.now e);
+  Engine.run e;
+  Alcotest.(check (float 1e-9)) "sw_send + sw_recv only" 0.4 !arrived;
+  Alcotest.(check int) "loopback still counted" 1 (Network.messages net)
+
+let test_send_rejects_bad_node_ids () =
+  let _, net = make_net () in
+  let attempt ~src ~dst =
+    Network.send net ~src ~dst ~bytes:32 ~sw_send:0. ~sw_recv:0. ignore
+  in
+  Alcotest.check_raises "dst out of range"
+    (Invalid_argument
+       "Network.send: node id out of range (src=0 dst=99 nodes=4)") (fun () ->
+      attempt ~src:0 ~dst:99);
+  Alcotest.check_raises "negative src"
+    (Invalid_argument
+       "Network.send: node id out of range (src=-1 dst=3 nodes=4)") (fun () ->
+      attempt ~src:(-1) ~dst:3);
+  Alcotest.(check int) "nothing was sent" 0 (Network.messages net)
+
 let test_receiver_serializes () =
   (* Two messages from different senders to one receiver: the second is
      delayed by the receiver's software path — the effect that makes a
@@ -105,6 +131,9 @@ let () =
         [
           Alcotest.test_case "delivery time" `Quick test_delivery_time;
           Alcotest.test_case "loopback" `Quick test_loopback_free_wire;
+          Alcotest.test_case "loopback delivery" `Quick test_loopback_delivery;
+          Alcotest.test_case "bad node ids" `Quick
+            test_send_rejects_bad_node_ids;
           Alcotest.test_case "receiver serializes" `Quick test_receiver_serializes;
           qtest test_wire_monotone_in_hops;
         ] );

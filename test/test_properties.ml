@@ -33,6 +33,70 @@ let hint_cache_lru =
       ignore (Hint_cache.find c ~page:1000);
       Hint_cache.find c ~page:1000 <> None)
 
+let hint_cache_capacity_one =
+  QCheck.Test.make ~name:"capacity-1 cache holds exactly the last put"
+    ~count:200
+    QCheck.(small_list (int_bound 50))
+    (fun pages ->
+      let c = Hint_cache.create ~capacity:1 in
+      List.iter (fun page -> Hint_cache.put c ~page page) pages;
+      match List.rev pages with
+      | [] -> Hint_cache.size c = 0
+      | last :: earlier ->
+        Hint_cache.find c ~page:last = Some last
+        && List.for_all
+             (fun p -> p = last || Hint_cache.find c ~page:p = None)
+             earlier)
+
+let hint_cache_retouch =
+  QCheck.Test.make
+    ~name:"find re-touches: a probed entry outlives capacity-1 fresh inserts"
+    ~count:200
+    QCheck.(int_bound 3)
+    (fun victim ->
+      (* fill to capacity, probe one entry, then insert capacity-1 new
+         pages: everything except the probed entry is evicted *)
+      let c = Hint_cache.create ~capacity:4 in
+      List.iter (fun page -> Hint_cache.put c ~page page) [ 0; 1; 2; 3 ];
+      ignore (Hint_cache.find c ~page:victim);
+      List.iter (fun p -> Hint_cache.put c ~page:(100 + p) p) [ 1; 2; 3 ];
+      Hint_cache.find c ~page:victim = Some victim
+      && List.for_all
+           (fun p -> p = victim || Hint_cache.find c ~page:p = None)
+           [ 0; 1; 2; 3 ])
+
+(* Reference model: a cache of capacity [k] holds exactly the [k] most
+   recently used distinct pages, where both [put] and a hitting [find]
+   count as a use. *)
+let hint_cache_churn =
+  QCheck.Test.make ~name:"eviction under churn matches the LRU reference"
+    ~count:300
+    QCheck.(
+      pair (int_range 1 8)
+        (small_list (pair bool (int_bound 12))))
+    (fun (capacity, ops) ->
+      let c = Hint_cache.create ~capacity in
+      let used = ref [] in
+      let use page = used := page :: List.filter (( <> ) page) !used in
+      List.iter
+        (fun (is_put, page) ->
+          if is_put then begin
+            Hint_cache.put c ~page page;
+            use page
+          end
+          else if Hint_cache.find c ~page <> None then use page)
+        ops;
+      let expected =
+        List.filteri (fun i _ -> i < capacity) !used |> List.sort compare
+      in
+      let resident =
+        List.filter
+          (fun page -> Hint_cache.find c ~page <> None)
+          (List.init 13 Fun.id)
+        |> List.sort compare
+      in
+      resident = expected)
+
 let hint_cache_zero =
   QCheck.Test.make ~name:"zero-capacity cache always misses" ~count:50
     QCheck.(small_list (int_bound 20))
@@ -360,7 +424,14 @@ let () =
   Alcotest.run "properties"
     [
       ( "hint cache",
-        [ qtest hint_cache_capacity; qtest hint_cache_lru; qtest hint_cache_zero ] );
+        [
+          qtest hint_cache_capacity;
+          qtest hint_cache_lru;
+          qtest hint_cache_capacity_one;
+          qtest hint_cache_retouch;
+          qtest hint_cache_churn;
+          qtest hint_cache_zero;
+        ] );
       ( "address map",
         [
           qtest address_map_lookup;

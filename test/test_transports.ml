@@ -81,18 +81,23 @@ let test_sts_requires_handler () =
   let _, net = make () in
   let sts = Sts.create net Sts.default_config in
   Alcotest.check_raises "no handler"
-    (Failure "Sts.send: no handler registered at destination") (fun () ->
-      Sts.send sts ~src:0 ~dst:3 ())
+    (Sts.Protocol_violation
+       { node = 3; what = "send: no handler registered at destination" })
+    (fun () -> Sts.send sts ~src:0 ~dst:3 ())
 
 let test_sts_flow_control () =
   let e, net = make () in
   let config = { Sts.default_config with page_buffers = 2 } in
   let sts = Sts.create net config in
   Sts.register sts ~node:1 ignore;
-  (* pages may only flow against a reserved receive buffer *)
+  (* pages may only flow against a reserved receive buffer; the
+     violation names the node whose credit pool was bypassed *)
   Alcotest.check_raises "unreserved page send"
-    (Failure
-       "Sts.send: page sent without a reserved receive buffer (src=0 dst=1)")
+    (Sts.Protocol_violation
+       {
+         node = 1;
+         what = "send: page sent without a reserved receive buffer (src=0)";
+       })
     (fun () -> Sts.send sts ~src:0 ~dst:1 ~carries_page:true ());
   Alcotest.(check bool) "reserve 1" true (Sts.reserve_buffer sts ~node:1);
   Alcotest.(check bool) "reserve 2" true (Sts.reserve_buffer sts ~node:1);
@@ -101,10 +106,85 @@ let test_sts_flow_control () =
   Sts.release_buffer sts ~node:1;
   Alcotest.(check int) "one still reserved" 1 (Sts.buffers_reserved sts ~node:1);
   Sts.release_buffer sts ~node:1;
-  Alcotest.check_raises "over-release" (Failure "Sts.release_buffer: pool underflow")
+  Alcotest.check_raises "over-release"
+    (Sts.Protocol_violation { node = 1; what = "release_buffer: pool underflow" })
     (fun () -> Sts.release_buffer sts ~node:1);
   Engine.run e;
   Alcotest.(check int) "page message counted" 1 (Sts.page_messages sts)
+
+let test_sts_reliable_retransmit () =
+  (* the logical-level interposer eats the first transmission; the
+     reliability layer must notice the missing ack and retransmit *)
+  let e, net = make () in
+  let interposer ~now:_ ~index ~src:_ ~dst:_ ~carries_page:_ =
+    if index = 0 then Sts.{ deliveries = [] } else Sts.pass
+  in
+  let config =
+    {
+      Sts.default_config with
+      reliability = Some Sts.default_reliability;
+      interposer = Some interposer;
+    }
+  in
+  let sts = Sts.create net config in
+  let got = ref 0 in
+  Sts.register sts ~node:2 (fun () -> incr got);
+  Sts.send sts ~src:0 ~dst:2 ();
+  Engine.run e;
+  Alcotest.(check int) "delivered exactly once" 1 !got;
+  Alcotest.(check int) "one retransmission" 1 (Sts.retransmits sts);
+  Alcotest.(check int) "still one logical message" 1 (Sts.messages sts)
+
+let test_sts_reliable_dedup () =
+  (* every transmission is duplicated; the receiver must suppress the
+     copies and still ack them all *)
+  let e, net = make () in
+  let interposer ~now:_ ~index:_ ~src:_ ~dst:_ ~carries_page:_ =
+    Sts.{ deliveries = [ 0.; 0.05 ] }
+  in
+  let config =
+    {
+      Sts.default_config with
+      reliability = Some Sts.default_reliability;
+      interposer = Some interposer;
+    }
+  in
+  let sts = Sts.create net config in
+  let got = ref 0 in
+  Sts.register sts ~node:1 (fun () -> incr got);
+  for _ = 1 to 3 do
+    Sts.send sts ~src:0 ~dst:1 ()
+  done;
+  Engine.run e;
+  Alcotest.(check int) "each logical message delivered once" 3 !got;
+  Alcotest.(check int) "duplicates suppressed" 3 (Sts.duplicates_dropped sts);
+  Alcotest.(check int) "no retransmissions needed" 0 (Sts.retransmits sts)
+
+let test_sts_reliable_gives_up () =
+  (* a black-holed link must surface as a structured violation rather
+     than retrying forever *)
+  let e, net = make () in
+  let interposer ~now:_ ~index:_ ~src:_ ~dst:_ ~carries_page:_ =
+    Sts.{ deliveries = [] }
+  in
+  let config =
+    {
+      Sts.default_config with
+      reliability =
+        Some { Sts.default_reliability with max_retransmits = 2 };
+      interposer = Some interposer;
+    }
+  in
+  let sts = Sts.create net config in
+  Sts.register sts ~node:1 ignore;
+  Sts.send sts ~src:0 ~dst:1 ();
+  Alcotest.check_raises "link declared broken"
+    (Sts.Protocol_violation
+       {
+         node = 0;
+         what = "reliable send to node 1 gave up after 2 retransmits (seq=0)";
+       })
+    (fun () -> Engine.run e)
 
 let test_sts_message_ordering_per_pair () =
   (* messages between one src/dst pair arrive in send order (same
@@ -134,5 +214,10 @@ let () =
           Alcotest.test_case "requires handler" `Quick test_sts_requires_handler;
           Alcotest.test_case "flow control" `Quick test_sts_flow_control;
           Alcotest.test_case "ordering" `Quick test_sts_message_ordering_per_pair;
+          Alcotest.test_case "reliable retransmit" `Quick
+            test_sts_reliable_retransmit;
+          Alcotest.test_case "reliable dedup" `Quick test_sts_reliable_dedup;
+          Alcotest.test_case "reliable gives up" `Quick
+            test_sts_reliable_gives_up;
         ] );
     ]
