@@ -7,6 +7,7 @@
    Quick mode:          dune exec bench/main.exe -- --quick table3
    Parallel cells:      dune exec bench/main.exe -- table3 --jobs 4
    Harness speed:       dune exec bench/main.exe -- selfbench
+   Page-store bench:    dune exec bench/main.exe -- pagestore
    Chaos soak:          dune exec bench/main.exe -- chaos --seeds 10
    Microbenchmarks:     dune exec bench/main.exe -- bechamel *)
 
@@ -662,6 +663,19 @@ let engine_events snap =
   | Some (Metrics.Gauge_v v) -> int_of_float v
   | _ -> 0
 
+(* Per-cell allocation accounting rides along with the wall clock:
+   [Gc.quick_stat] counters are domain-local in OCaml 5 and each cell
+   runs entirely inside one pool domain, so the deltas isolate the
+   cell. minor/promoted words per event is the tracked number — it is
+   host-independent, unlike wall clock. *)
+type selfbench_row = {
+  sb_name : string;
+  sb_events : int;
+  sb_wall : float;
+  sb_minor : float;  (* minor words allocated by the cell *)
+  sb_promoted : float;
+}
+
 let selfbench_run ~jobs cells =
   let t0 = Unix.gettimeofday () in
   let rows =
@@ -669,8 +683,19 @@ let selfbench_run ~jobs cells =
       (List.map
          (fun (name, f) () ->
            let c0 = Unix.gettimeofday () in
+           (* Gc.minor_words reads the allocation pointer exactly;
+              quick_stat's copy lags until the next minor collection *)
+           let m0 = Gc.minor_words () in
+           let g0 = Gc.quick_stat () in
            let snap = f () in
-           (name, engine_events snap, Unix.gettimeofday () -. c0))
+           let g1 = Gc.quick_stat () in
+           {
+             sb_name = name;
+             sb_events = engine_events snap;
+             sb_wall = Unix.gettimeofday () -. c0;
+             sb_minor = Gc.minor_words () -. m0;
+             sb_promoted = g1.Gc.promoted_words -. g0.Gc.promoted_words;
+           })
          cells)
   in
   (Unix.gettimeofday () -. t0, rows)
@@ -681,15 +706,21 @@ let selfbench ~quick ?jobs () =
   let jobs = match jobs with Some j -> j | None -> Runner.default_jobs () in
   let seq_wall, seq_rows = selfbench_run ~jobs:1 cells in
   let par_wall, par_rows = selfbench_run ~jobs cells in
-  let events rows = List.fold_left (fun acc (_, ev, _) -> acc + ev) 0 rows in
+  let events rows = List.fold_left (fun acc r -> acc + r.sb_events) 0 rows in
   let total_events = events seq_rows in
   (* a free determinism check: both runs simulated the same events *)
   if events par_rows <> total_events then
     failwith "selfbench: parallel run simulated a different event count";
   let rate wall = float_of_int total_events /. wall in
-  pf "%-28s %12s %12s@." "cell" "events" "wall (s)";
+  pf "%-28s %12s %12s %14s %12s@." "cell" "events" "wall (s)" "minor w/ev"
+    "promoted w/ev";
   rule ();
-  List.iter (fun (name, ev, w) -> pf "%-28s %12d %12.3f@." name ev w) seq_rows;
+  List.iter
+    (fun r ->
+      let per v = if r.sb_events > 0 then v /. float_of_int r.sb_events else 0. in
+      pf "%-28s %12d %12.3f %14.1f %12.2f@." r.sb_name r.sb_events r.sb_wall
+        (per r.sb_minor) (per r.sb_promoted))
+    seq_rows;
   rule ();
   let cores = Runner.default_jobs () in
   let speedup = seq_wall /. par_wall in
@@ -699,10 +730,19 @@ let selfbench ~quick ?jobs () =
     (rate par_wall);
   pf "speedup %.2fx with %d jobs (%d recommended domains on this host)@."
     speedup jobs cores;
-  let cell_json (name, ev, w) =
+  let cell_json r =
     Json.Obj
-      [ ("name", Json.String name); ("events", Json.Int ev);
-        ("wall_s", Json.Float w) ]
+      [
+        ("name", Json.String r.sb_name);
+        ("events", Json.Int r.sb_events);
+        ("wall_s", Json.Float r.sb_wall);
+        ("minor_words", Json.Float r.sb_minor);
+        ("promoted_words", Json.Float r.sb_promoted);
+        ( "minor_words_per_event",
+          Json.Float
+            (if r.sb_events > 0 then r.sb_minor /. float_of_int r.sb_events
+             else 0.) );
+      ]
   in
   let run_json ~jobs ~wall rows =
     Json.Obj
@@ -737,6 +777,145 @@ let selfbench ~quick ?jobs () =
   | Ok _ -> ()
   | Error e -> failwith ("selfbench: BENCH_selfbench.json is invalid: " ^ e));
   pf "wrote BENCH_selfbench.json@."
+
+(* ------------------------------------------------------------------ *)
+(* Pagestore microbench (BENCH_pagestore.json)                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Eager-vs-COW on the snapshot-heavy pattern the simulator actually
+   executes: pages are transferred (snapshotted) and audited
+   (checksummed) far more often than they are written afterwards. The
+   eager baseline re-implements the pre-COW page store — a plain int
+   array, a full word copy per transfer, a full checksum per audit —
+   so the speedup is the cost this PR removed. A second section runs
+   the Table 2 read-sharing workload and reads the contents.* counters
+   off its registry snapshot: COW only pays off if materializations
+   stay well below snapshots on real protocol traffic. *)
+
+let eager_checksum a =
+  let acc = ref (Array.length a) in
+  for i = 0 to Array.length a - 1 do
+    acc := (!acc * 1000003) lxor a.(i)
+  done;
+  !acc
+
+let pagestore ~quick () =
+  let module C = Asvm_machvm.Contents in
+  header "pagestore: eager deep-copy vs COW page snapshots";
+  let words = 1024 (* the 8 KB page at 8-byte words *) in
+  let pages = if quick then 32 else 128 in
+  let snaps = if quick then 64 else 256 in
+  let audits = 2 in
+  let reps = if quick then 3 else 5 in
+  (* the two implementations must agree on the page image *)
+  let probe = C.zero ~words in
+  C.set probe 0 42;
+  let probe_eager = Array.make words 0 in
+  probe_eager.(0) <- 42;
+  if C.checksum probe <> eager_checksum probe_eager then
+    failwith "pagestore: eager and COW checksums disagree";
+  let sink = ref 0 in
+  let eager_round () =
+    for _p = 1 to pages do
+      let src = Array.make words 0 in
+      src.(0) <- 42;
+      src.(words - 1) <- 7;
+      for _s = 1 to snaps do
+        let snap = Array.copy src in
+        for _a = 1 to audits do
+          sink := !sink lxor eager_checksum snap
+        done
+      done;
+      (* writer mutates after the transfers went out *)
+      src.(1) <- 9
+    done
+  in
+  let cow_round () =
+    for _p = 1 to pages do
+      let src = C.zero ~words in
+      C.set src 0 42;
+      C.set src (words - 1) 7;
+      for _s = 1 to snaps do
+        let snap = C.snapshot src in
+        for _a = 1 to audits do
+          sink := !sink lxor C.checksum snap
+        done
+      done;
+      C.set src 1 9
+    done
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      f ()
+    done;
+    Unix.gettimeofday () -. t0
+  in
+  let eager_s = time eager_round in
+  let cow_s = time cow_round in
+  let speedup = eager_s /. cow_s in
+  let transfers = pages * snaps * reps in
+  pf "%d pages x %d snapshots x %d audits, %d reps (%d transfers):@." pages
+    snaps audits reps transfers;
+  pf "  eager (copy + full checksum): %10.4f s@." eager_s;
+  pf "  COW   (alias + memoized sum): %10.4f s@." cow_s;
+  pf "  speedup: %.2fx@." speedup;
+  (* Table 2 sharing workload: many nodes read one file through the
+     pager; transfers are all snapshots, writes are rare *)
+  let nodes = if quick then 4 else 16 in
+  let r = File_io.read_test ~mm:Config.Mm_asvm ~nodes ~file_mb:1 () in
+  let total name = Metrics.counter_total r.File_io.metrics name in
+  let t2_snapshots = total "contents.snapshots" in
+  let t2_cow = total "contents.cow_materializations" in
+  let t2_hits = total "contents.checksum_cache_hits" in
+  rule ();
+  pf "table2 read sharing (%d nodes, 1 MB file), contents.* counters:@." nodes;
+  pf "  snapshots: %d   cow_materializations: %d   checksum_cache_hits: %d@."
+    t2_snapshots t2_cow t2_hits;
+  let json =
+    Json.Obj
+      [
+        ("schema", Json.String "asvm.pagestore/v1");
+        ("quick", Json.Bool quick);
+        ("words", Json.Int words);
+        ("pages", Json.Int pages);
+        ("snapshots_per_page", Json.Int snaps);
+        ("audits_per_snapshot", Json.Int audits);
+        ("reps", Json.Int reps);
+        ("eager_s", Json.Float eager_s);
+        ("cow_s", Json.Float cow_s);
+        ("speedup", Json.Float speedup);
+        ( "table2",
+          Json.Obj
+            [
+              ("nodes", Json.Int nodes);
+              ("snapshots", Json.Int t2_snapshots);
+              ("cow_materializations", Json.Int t2_cow);
+              ("checksum_cache_hits", Json.Int t2_hits);
+              ("cow_lt_snapshots", Json.Bool (t2_cow < t2_snapshots));
+            ] );
+      ]
+  in
+  let oc = open_out "BENCH_pagestore.json" in
+  output_string oc (Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  (* read it back: a zero exit certifies the file is well-formed JSON *)
+  let ic = open_in "BENCH_pagestore.json" in
+  let contents = In_channel.input_all ic in
+  close_in ic;
+  (match Json.of_string (String.trim contents) with
+  | Ok _ -> ()
+  | Error e -> failwith ("pagestore: BENCH_pagestore.json is invalid: " ^ e));
+  pf "wrote BENCH_pagestore.json@.";
+  if speedup < 1.3 then
+    failwith
+      (Printf.sprintf "pagestore: COW speedup %.2fx below the 1.3x floor"
+         speedup);
+  if t2_cow >= t2_snapshots then
+    failwith
+      "pagestore: cow_materializations not below snapshots on the table2 \
+       sharing workload"
 
 (* ------------------------------------------------------------------ *)
 (* Chaos soak (BENCH_chaos.json)                                      *)
@@ -790,6 +969,8 @@ let run_selected ~quick ~metrics ~seeds ?jobs which =
   if want "bechamel" then bechamel ();
   (* explicit-only: it deliberately runs its batch twice to time it *)
   if List.mem "selfbench" which then selfbench ~quick ?jobs ();
+  (* explicit-only: a harness microbench, not a paper experiment *)
+  if List.mem "pagestore" which then pagestore ~quick ();
   (* explicit-only: fault injection is a soak, not a paper experiment *)
   if List.mem "chaos" which then chaos ~quick ~seeds ?jobs ()
 

@@ -19,6 +19,16 @@ dune exec bench/main.exe -- --quick selfbench --jobs 2
 test -s BENCH_selfbench.json
 head -c 64 BENCH_selfbench.json | grep -q '"schema":"asvm.selfbench/v1"'
 
+echo "== pagestore smoke (--quick)"
+# the pagestore bench exits nonzero when the COW store is under 1.3x
+# the eager baseline or the table2 cell pays as many materializations
+# as snapshots, and parses the file back before exiting; re-check the
+# schema tag and the sharing verdict on the file itself
+dune exec bench/main.exe -- --quick pagestore
+test -s BENCH_pagestore.json
+head -c 64 BENCH_pagestore.json | grep -q '"schema":"asvm.pagestore/v1"'
+grep -q '"cow_lt_snapshots":true' BENCH_pagestore.json
+
 echo "== chaos smoke (--quick, 3 seeds)"
 # the chaos experiment exits nonzero on any invariant violation or
 # incomplete cell and validates its JSON by parsing it back; re-check

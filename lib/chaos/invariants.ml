@@ -17,9 +17,11 @@ let copies_of vms ~sharers ~obj ~page =
         match Vm.frame_access vm ~obj ~page with
         | None | Some Prot.No_access -> None
         | Some access ->
+          (* in-place, memoized checksum: on a quiesced cluster a
+             re-audit of unchanged pages is all cache hits *)
           let sum =
-            match Vm.frame_contents vm ~obj ~page with
-            | Some c -> Contents.checksum c
+            match Vm.frame_checksum vm ~obj ~page with
+            | Some s -> s
             | None -> 0
           in
           Some { c_node = node; c_access = access; c_sum = sum })

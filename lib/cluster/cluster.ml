@@ -27,6 +27,18 @@ type engine_gauges = {
   g_cpu_us_per_sim_ms : Metrics.Gauge.t;
 }
 
+(* Page-store accounting. Contents counts snapshots / COW
+   materializations / checksum-cache hits per domain; each snapshot
+   folds the delta since the previous one into this cluster's
+   counters. A cell runs one cluster per domain, so the attribution is
+   exact under the parallel runner. *)
+type contents_counters = {
+  c_snapshots : Metrics.Counter.t;
+  c_cow : Metrics.Counter.t;
+  c_sum_hits : Metrics.Counter.t;
+  mutable c_base : Contents.stats;
+}
+
 type t = {
   config : Config.t;
   engine : Engine.t;
@@ -38,6 +50,7 @@ type t = {
   io_disk : Disk.t;
   metrics : Metrics.Registry.t;
   engine_gauges : engine_gauges;
+  contents_counters : contents_counters;
   trace : Trace.t option;
   (* distributed objects and their sharer sets *)
   registered : (Ids.obj_id, int list) Hashtbl.t;
@@ -102,6 +115,15 @@ let create (config : Config.t) =
         g_cpu_us_per_sim_ms =
           Metrics.Registry.gauge metrics "engine.cpu_us_per_sim_ms";
       };
+    contents_counters =
+      {
+        c_snapshots = Metrics.Registry.counter metrics "contents.snapshots";
+        c_cow =
+          Metrics.Registry.counter metrics "contents.cow_materializations";
+        c_sum_hits =
+          Metrics.Registry.counter metrics "contents.checksum_cache_hits";
+        c_base = Contents.stats ();
+      };
     trace;
   }
 
@@ -125,6 +147,18 @@ let metrics_snapshot t =
   Metrics.Gauge.set g.g_sim_ms p.Engine.sim_ms;
   Metrics.Gauge.set g.g_cpu_s p.Engine.cpu_s;
   Metrics.Gauge.set g.g_cpu_us_per_sim_ms p.Engine.cpu_us_per_sim_ms;
+  let cc = t.contents_counters in
+  let cur = Contents.stats () in
+  let base = cc.c_base in
+  Metrics.Counter.incr ~by:(cur.Contents.snapshots - base.Contents.snapshots)
+    cc.c_snapshots;
+  Metrics.Counter.incr
+    ~by:(cur.Contents.cow_materializations - base.Contents.cow_materializations)
+    cc.c_cow;
+  Metrics.Counter.incr
+    ~by:(cur.Contents.checksum_cache_hits - base.Contents.checksum_cache_hits)
+    cc.c_sum_hits;
+  cc.c_base <- cur;
   Metrics.Registry.snapshot t.metrics
 
 (* ------------------------------------------------------------------ *)

@@ -10,11 +10,11 @@ let in_memory () =
   {
     store =
       (fun ~obj ~page ~contents ~k ->
-        Hashtbl.replace table (obj, page) (Contents.copy contents);
+        Hashtbl.replace table (obj, page) (Contents.snapshot contents);
         k ());
     fetch =
       (fun ~obj ~page ~k ->
-        k (Option.map Contents.copy (Hashtbl.find_opt table (obj, page))));
+        k (Option.map Contents.snapshot (Hashtbl.find_opt table (obj, page))));
   }
 
 let none =

@@ -142,11 +142,19 @@ let frame_access t ~obj ~page =
 
 let frame_contents t ~obj ~page =
   Option.map
-    (fun (fr : Vm_object.frame) -> Contents.copy fr.contents)
+    (fun (fr : Vm_object.frame) -> Contents.snapshot fr.contents)
     (frame_of t obj page)
 
 let frame_dirty t ~obj ~page =
   match frame_of t obj page with Some fr -> fr.dirty | None -> false
+
+(* checksums the frame in place — no handle allocation, and the memo
+   on the frame's buffer survives, so repeated audits of a quiescent
+   page are cache hits *)
+let frame_checksum t ~obj ~page =
+  Option.map
+    (fun (fr : Vm_object.frame) -> Contents.checksum fr.contents)
+    (frame_of t obj page)
 
 let wake t obj page =
   match Hashtbl.find_opt t.pending (obj, page) with
@@ -217,7 +225,7 @@ let try_accept_page t ~obj ~page ~contents ~dirty ~access =
   if free_pages t <= 0 then false
   else begin
     let o = get_object t obj in
-    ignore (install_frame t o page (Contents.copy contents) ~dirty ~access);
+    ignore (install_frame t o page (Contents.snapshot contents) ~dirty ~access);
     wake t obj page;
     true
   end
@@ -571,7 +579,7 @@ and materialize_for_write t ctx task vpage (o : Vm_object.t) index k =
             | Some fr, false ->
               ignore
                 (install_frame t o index
-                   (Contents.copy fr.contents)
+                   (Contents.snapshot fr.contents)
                    ~dirty:false ~access:Prot.Read_write)
             | _ -> ());
             again ())
@@ -620,7 +628,7 @@ and local_push t (o : Vm_object.t) index then_k =
         then
           ignore
             (install_frame t head head_index
-               (Contents.copy fr.contents)
+               (Contents.snapshot fr.contents)
                ~dirty:true ~access:Prot.Read_write);
         Vm_object.set_page_version o index o.version;
         remove_translations t o.id index
@@ -644,7 +652,7 @@ let page_contents t ~task ~vpage =
   | None -> None
   | Some trn ->
     Option.map
-      (fun (fr : Vm_object.frame) -> Contents.copy fr.contents)
+      (fun (fr : Vm_object.frame) -> Contents.snapshot fr.contents)
       (frame_of t trn.backing_obj trn.index)
 
 let set_frame_dirty t ~obj ~page =
@@ -705,7 +713,7 @@ let push_into_copy_chain t (o : Vm_object.t) page contents =
       && not (Hashtbl.mem t.swapped (head.id, head_index))
     then begin
       ignore
-        (install_frame t head head_index (Contents.copy contents) ~dirty:true
+        (install_frame t head head_index (Contents.snapshot contents) ~dirty:true
            ~access:Prot.Read_write);
       wake t head_id head_index
     end;
@@ -720,7 +728,7 @@ let data_supply t ~obj ~page ~contents ~lock ~mode =
       match (mode : Emmi.supply_mode) with
       | Supply_normal ->
         ignore
-          (install_frame t o page (Contents.copy contents) ~dirty:false
+          (install_frame t o page (Contents.snapshot contents) ~dirty:false
              ~access:lock);
         wake t obj page
       | Supply_push -> push_into_copy_chain t o page contents)
@@ -747,7 +755,7 @@ let lock_request t ~obj ~page ~op ~reply =
         let returned =
           if op.Emmi.clean && fr.dirty then begin
             fr.dirty <- false;
-            Some (Contents.copy fr.contents)
+            Some (Contents.snapshot fr.contents)
           end
           else None
         in
@@ -772,7 +780,7 @@ let pull_request t ~obj ~page ~reply =
       in
       let rec descend (s : Vm_object.t) index =
         match Vm_object.frame s index with
-        | Some fr -> answer (Emmi.Pull_contents (Contents.copy fr.contents))
+        | Some fr -> answer (Emmi.Pull_contents (Contents.snapshot fr.contents))
         | None ->
           if Hashtbl.mem t.swapped (s.id, index) then
             t.backing.fetch ~obj:s.id ~page:index ~k:(function
@@ -788,7 +796,7 @@ let pull_request t ~obj ~page ~reply =
       in
       let o = get_object t obj in
       match Vm_object.frame o page with
-      | Some fr -> answer (Emmi.Pull_contents (Contents.copy fr.contents))
+      | Some fr -> answer (Emmi.Pull_contents (Contents.snapshot fr.contents))
       | None ->
         if Hashtbl.mem t.swapped (o.id, page) then
           t.backing.fetch ~obj ~page ~k:(function

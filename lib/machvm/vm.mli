@@ -148,6 +148,12 @@ val frame_access : t -> obj:Ids.obj_id -> page:int -> Prot.t option
 val frame_contents : t -> obj:Ids.obj_id -> page:int -> Contents.t option
 val frame_dirty : t -> obj:Ids.obj_id -> page:int -> bool
 
+(** Checksum of the resident frame, without taking a snapshot. The
+    result is memoized on the frame's buffer ({!Contents.checksum}),
+    so auditing a page that has not been written since the last audit
+    is O(1) — the chaos invariant checker's fast path. *)
+val frame_checksum : t -> obj:Ids.obj_id -> page:int -> int option
+
 val resident_total : t -> int
 val capacity_pages : t -> int
 val free_pages : t -> int

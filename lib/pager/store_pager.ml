@@ -41,7 +41,7 @@ let disk t = t.disk
 
 let preload t ~obj ~page contents =
   Hashtbl.replace t.table (obj, page)
-    { data = Contents.copy contents; on_disk_only = true }
+    { data = Contents.snapshot contents; on_disk_only = true }
 
 let has t ~obj ~page = Hashtbl.mem t.table (obj, page)
 
@@ -54,10 +54,10 @@ let request t ~obj ~page ~words k =
       ~service:(t.config.supply_ms +. t.config.file_read_ms)
       (fun () ->
         e.on_disk_only <- false;
-        k (Contents.copy e.data))
+        k (Contents.snapshot e.data))
   | Some e ->
     Station.submit t.station ~service:t.config.supply_ms (fun () ->
-        k (Contents.copy e.data))
+        k (Contents.snapshot e.data))
   | None ->
     Station.submit t.station ~service:t.config.supply_ms (fun () ->
         k (Contents.zero ~words))
@@ -65,11 +65,11 @@ let request t ~obj ~page ~words k =
 let remember t ~obj ~page ~contents =
   match Hashtbl.find_opt t.table (obj, page) with
   | Some e ->
-    e.data <- Contents.copy contents;
+    e.data <- Contents.snapshot contents;
     e.on_disk_only <- false
   | None ->
     Hashtbl.replace t.table (obj, page)
-      { data = Contents.copy contents; on_disk_only = false }
+      { data = Contents.snapshot contents; on_disk_only = false }
 
 let clean t ~obj ~page ~contents k =
   t.cleans <- t.cleans + 1;
@@ -96,7 +96,7 @@ let as_backing t =
             Disk.read t.disk (fun () ->
                 k
                   (Option.map
-                     (fun e -> Contents.copy e.data)
+                     (fun e -> Contents.snapshot e.data)
                      (Hashtbl.find_opt t.table (obj, page))))));
   }
 

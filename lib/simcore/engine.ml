@@ -1,5 +1,7 @@
 type t = {
   queue : Event_queue.t;
+  (* reused by [step] so the event loop never allocates per event *)
+  slot : Event_queue.slot;
   mutable now : float;
   mutable seq : int;
   mutable executed : int;
@@ -7,7 +9,14 @@ type t = {
 }
 
 let create () =
-  { queue = Event_queue.create (); now = 0.; seq = 0; executed = 0; cpu_s = 0. }
+  {
+    queue = Event_queue.create ();
+    slot = Event_queue.slot ();
+    now = 0.;
+    seq = 0;
+    executed = 0;
+    cpu_s = 0.;
+  }
 
 let now t = t.now
 
@@ -23,18 +32,24 @@ let schedule t ~delay k =
   schedule_at t ~time:(t.now +. delay) k
 
 let step t =
-  match Event_queue.pop t.queue with
-  | None -> false
-  | Some (time, _seq, run) ->
-    t.now <- time;
-    t.executed <- t.executed + 1;
-    run ();
-    true
+  Event_queue.pop_into t.queue t.slot
+  && begin
+       t.now <- t.slot.Event_queue.s_time;
+       t.executed <- t.executed + 1;
+       t.slot.Event_queue.s_run ();
+       true
+     end
 
 let run ?until ?max_events t =
   let wall0 = Sys.time () in
+  (* [max_events] bounds the events executed by THIS call: comparing
+     against cumulative [t.executed] would make a second bounded [run]
+     on the same engine silently execute nothing *)
+  let executed0 = t.executed in
   let continue () =
-    (match max_events with Some m -> t.executed < m | None -> true)
+    (match max_events with
+    | Some m -> t.executed - executed0 < m
+    | None -> true)
     && (match until, Event_queue.min_time t.queue with
        | Some u, Some next -> next <= u
        | _, None -> false

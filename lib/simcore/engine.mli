@@ -25,8 +25,9 @@ val schedule_at : t -> time:float -> (unit -> unit) -> unit
 (** Execute the next event. Returns [false] when the queue is empty. *)
 val step : t -> bool
 
-(** Run until the queue drains, [until] is reached, or [max_events] have
-    executed. *)
+(** Run until the queue drains, [until] is reached, or [max_events]
+    have executed. [max_events] counts events executed by this call,
+    not cumulatively over the engine's lifetime. *)
 val run : ?until:float -> ?max_events:int -> t -> unit
 
 (** Number of events executed so far. *)

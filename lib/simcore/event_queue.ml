@@ -49,6 +49,26 @@ let add t ~time ~seq run =
 
 let min_time t = if t.len = 0 then None else Some t.heap.(0).time
 
+type slot = { mutable s_time : float; mutable s_seq : int; mutable s_run : unit -> unit }
+
+let slot () = { s_time = 0.; s_seq = 0; s_run = ignore }
+
+(* The event hot path: [pop] allocates an option + tuple per event, so
+   the engine's step loop drains through a caller-owned slot instead. *)
+let pop_into t s =
+  t.len > 0
+  && begin
+       let e = t.heap.(0) in
+       t.len <- t.len - 1;
+       t.heap.(0) <- t.heap.(t.len);
+       t.heap.(t.len) <- dummy;
+       if t.len > 0 then sift_down t 0;
+       s.s_time <- e.time;
+       s.s_seq <- e.seq;
+       s.s_run <- e.run;
+       true
+     end
+
 let pop t =
   if t.len = 0 then None
   else begin

@@ -22,3 +22,19 @@ val min_time : t -> float option
 
 (** Remove and return the earliest event as [(time, seq, k)]. *)
 val pop : t -> (float * int * (unit -> unit)) option
+
+(** Reusable destination for {!pop_into}: lets the event loop drain the
+    queue without allocating an option + tuple per event. *)
+type slot = {
+  mutable s_time : float;
+  mutable s_seq : int;
+  mutable s_run : unit -> unit;
+}
+
+(** A fresh slot (time 0, no-op closure). *)
+val slot : unit -> slot
+
+(** [pop_into q s] removes the earliest event into [s] and returns
+    [true], or returns [false] leaving [s] untouched when the queue is
+    empty. Equivalent to {!pop} but allocation-free. *)
+val pop_into : t -> slot -> bool

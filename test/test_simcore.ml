@@ -81,6 +81,43 @@ let test_engine_until () =
   Engine.run e;
   Alcotest.(check int) "rest of events" 10 !fired
 
+let test_engine_max_events_per_run () =
+  (* regression: [max_events] used to compare against the engine's
+     cumulative executed count, so a second bounded run did nothing *)
+  let e = Engine.create () in
+  let fired = ref 0 in
+  for i = 1 to 10 do
+    Engine.schedule e ~delay:(float_of_int i) (fun () -> incr fired)
+  done;
+  Engine.run ~max_events:3 e;
+  Alcotest.(check int) "first bounded run" 3 !fired;
+  Engine.run ~max_events:3 e;
+  Alcotest.(check int) "second bounded run executes too" 6 !fired;
+  Engine.run e;
+  Alcotest.(check int) "drain the rest" 10 !fired;
+  Alcotest.(check int) "cumulative count intact" 10 (Engine.events_executed e)
+
+let test_queue_pop_into () =
+  let q = Event_queue.create () in
+  let s = Event_queue.slot () in
+  Alcotest.(check bool) "empty queue" false (Event_queue.pop_into q s);
+  let order = ref [] in
+  Event_queue.add q ~time:2.0 ~seq:0 (fun () -> order := "b" :: !order);
+  Event_queue.add q ~time:1.0 ~seq:1 (fun () -> order := "a" :: !order);
+  let times = ref [] in
+  while Event_queue.pop_into q s do
+    times := s.Event_queue.s_time :: !times;
+    s.Event_queue.s_run ()
+  done;
+  Alcotest.(check (list string)) "runs in time order" [ "a"; "b" ]
+    (List.rev !order);
+  Alcotest.(check (list (float 1e-9))) "slot carries times" [ 1.0; 2.0 ]
+    (List.rev !times);
+  (* a failed pop leaves the slot untouched *)
+  Alcotest.(check bool) "drained" false (Event_queue.pop_into q s);
+  Alcotest.(check (float 1e-9)) "slot untouched on empty" 2.0
+    s.Event_queue.s_time
+
 let test_engine_rejects_past () =
   let e = Engine.create () in
   Alcotest.check_raises "negative delay"
@@ -225,12 +262,15 @@ let () =
         [
           Alcotest.test_case "time order" `Quick test_queue_order;
           Alcotest.test_case "fifo ties" `Quick test_queue_fifo_ties;
+          Alcotest.test_case "pop_into" `Quick test_queue_pop_into;
           qtest test_queue_heap_property;
         ] );
       ( "engine",
         [
           Alcotest.test_case "schedule" `Quick test_engine_schedule;
           Alcotest.test_case "run until" `Quick test_engine_until;
+          Alcotest.test_case "max_events per run" `Quick
+            test_engine_max_events_per_run;
           Alcotest.test_case "rejects past" `Quick test_engine_rejects_past;
         ] );
       ( "station",
