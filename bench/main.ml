@@ -922,8 +922,10 @@ let pagestore ~quick () =
 (* ------------------------------------------------------------------ *)
 
 (* Every workload under seeded fault plans with invariant checks after
-   quiesce, plus the zero-fault cost of the reliable-STS layer.  The
-   report goes to BENCH_chaos.json; a violation fails the run (and CI)
+   quiesce, the zero-fault cost of the reliable-STS layer, and the
+   rolling k-of-n crash/rejoin cells with their recovery-latency
+   percentiles (docs/AVAILABILITY.md).  The report goes to
+   BENCH_chaos.json; a violation or a lost write fails the run (and CI)
    with the (seed, plan) pair that reproduces it. *)
 let chaos ~quick ~seeds ?jobs () =
   let module Soak = Asvm_chaos.Soak in
@@ -943,9 +945,11 @@ let chaos ~quick ~seeds ?jobs () =
   | Ok _ -> ()
   | Error e -> failwith ("chaos: BENCH_chaos.json is invalid: " ^ e));
   pf "wrote BENCH_chaos.json@.";
-  if r.Soak.total_violations > 0 || r.Soak.incomplete > 0 then
+  if r.Soak.total_violations > 0 || r.Soak.incomplete > 0 || r.Soak.lost_writes > 0
+  then
     failwith
-      "chaos: invariant violations or incomplete runs — see BENCH_chaos.json"
+      "chaos: invariant violations, lost writes or incomplete runs — see \
+       BENCH_chaos.json"
 
 (* ------------------------------------------------------------------ *)
 (* Driver                                                             *)

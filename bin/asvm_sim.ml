@@ -252,6 +252,24 @@ let chaos_cmd =
       value & flag
       & info [ "quick" ] ~doc:"Shrink the workload sizes (CI smoke).")
   in
+  let crash_term =
+    Arg.(
+      value & flag
+      & info [ "crash" ]
+          ~doc:
+            "Add rolling whole-node crash/rejoin to the run.  Alone: run \
+             only the deterministic crash cells (k=1 and k=2 per workload \
+             and protocol).  With $(b,--seed): overlay the crash schedule \
+             on the seeded message-fault plan (see docs/AVAILABILITY.md).")
+  in
+  let k_term =
+    Arg.(
+      value & opt int 1
+      & info [ "k" ] ~docv:"K"
+          ~doc:
+            "Concurrently-down nodes for $(b,--crash) with $(b,--seed) \
+             (default 1).")
+  in
   let jobs_term =
     Arg.(
       value
@@ -261,21 +279,71 @@ let chaos_cmd =
             "Worker domains for the soak pool; plans and outcomes are \
              independent of $(docv).")
   in
-  let run mm seed seeds workload quick jobs =
+  let print_crash_stats (o : Soak.outcome) =
+    if o.Soak.crashes > 0 then begin
+      Printf.printf "crashes: %d, rejoins: %d, lost pages (sole copy died): %d\n"
+        o.Soak.crashes o.Soak.rejoins o.Soak.lost_pages;
+      match (o.Soak.recovery_p50_ms, o.Soak.recovery_p99_ms) with
+      | Some p50, Some p99 ->
+        Printf.printf "recovery latency: p50=%.2f ms p99=%.2f ms\n" p50 p99
+      | _ -> ()
+    end
+  in
+  let run mm seed seeds workload quick crash k jobs =
     match seed with
     | Some seed ->
       (* reproduce-by-seed: one cell, plan printed in full *)
       let lossy = mm = Config.Mm_asvm in
       let plan = Plan.random ~seed ~lossy in
+      let plan =
+        if crash then
+          Plan.with_crashes plan (Soak.crash_plan ~workload ~k).Plan.crashes
+        else plan
+      in
       Printf.printf "plan: %s\n%!" (Plan.describe plan);
       let o = Soak.run_one ~quick ~mm ~workload ~plan ~reliable:lossy () in
       Printf.printf "%s %s: %s, %d retransmits, %d duplicates dropped\n"
         (Config.mm_name mm) workload
         (if o.Soak.completed then "completed" else "DID NOT COMPLETE")
         o.Soak.retransmits o.Soak.duplicates_dropped;
+      print_crash_stats o;
       Option.iter (fun e -> Printf.printf "error: %s\n" e) o.Soak.error;
       List.iter (fun v -> Printf.printf "violation: %s\n" v) o.Soak.violations;
       if o.Soak.violations <> [] || not o.Soak.completed then exit 1
+    | None when crash ->
+      (* the deterministic crash cells only: rolling k-of-n per workload
+         and protocol, perfect network *)
+      let cells =
+        List.concat_map
+          (fun workload ->
+            List.concat_map
+              (fun k ->
+                [ (Config.Mm_asvm, workload, k, true);
+                  (Config.Mm_xmm, workload, k, false) ])
+              [ 1; 2 ])
+          Soak.workloads
+      in
+      let outcomes =
+        Asvm_runner.Runner.map ?jobs
+          (fun (mm, workload, k, reliable) ->
+            Soak.run_one ~quick ~mm ~workload
+              ~plan:(Soak.crash_plan ~workload ~k)
+              ~reliable ())
+          cells
+      in
+      List.iter
+        (fun o ->
+          Format.printf "  %a@." Soak.pp_outcome o;
+          List.iter
+            (fun v -> Format.printf "    violation: %s@." v)
+            o.Soak.violations)
+        outcomes;
+      Format.pp_print_flush Format.std_formatter ();
+      if
+        List.exists
+          (fun o -> o.Soak.violations <> [] || not o.Soak.completed)
+          outcomes
+      then exit 1
     | None ->
       let r = Soak.run ?jobs ~seeds ~quick () in
       Soak.pp_report Format.std_formatter r;
@@ -285,12 +353,13 @@ let chaos_cmd =
   Cmd.v
     (Cmd.info "chaos"
        ~doc:
-         "Fault-injection soak: seeded fault plans against every workload, \
-          with protocol invariant checks after quiesce (see \
-          docs/RELIABILITY.md).")
+         "Fault-injection soak: seeded fault plans and rolling node \
+          crash/rejoin schedules against every workload, with protocol \
+          invariant checks after quiesce (see docs/RELIABILITY.md and \
+          docs/AVAILABILITY.md).")
     Term.(
       const run $ mm_term $ seed_term $ seeds_term $ workload_term $ quick_term
-      $ jobs_term)
+      $ crash_term $ k_term $ jobs_term)
 
 (* -------------------------------- sweep ----------------------------- *)
 

@@ -30,13 +30,43 @@ head -c 64 BENCH_pagestore.json | grep -q '"schema":"asvm.pagestore/v1"'
 grep -q '"cow_lt_snapshots":true' BENCH_pagestore.json
 
 echo "== chaos smoke (--quick, 3 seeds)"
-# the chaos experiment exits nonzero on any invariant violation or
-# incomplete cell and validates its JSON by parsing it back; re-check
-# the schema tag and the zero-violation verdict on the file itself
+# the chaos experiment exits nonzero on any invariant violation, lost
+# write or incomplete cell and validates its JSON by parsing it back;
+# re-check the schema tag and the zero-violation verdict on the file
+# itself
 dune exec bench/main.exe -- --quick chaos --seeds 3
 test -s BENCH_chaos.json
 head -c 96 BENCH_chaos.json | grep -q '"schema":"asvm.chaos/v1"'
 head -c 96 BENCH_chaos.json | grep -q '"total_violations":0'
+grep -q '"lost_writes":0' BENCH_chaos.json
+
+echo "== crash-soak smoke (--crash --quick)"
+# rolling k-of-n whole-node crash/rejoin under every workload and both
+# protocols (docs/AVAILABILITY.md); nonzero exit on any violation,
+# lost write or incomplete cell
+dune exec bin/asvm_sim.exe -- chaos --crash --quick --jobs 2
+
+echo "== docs link check"
+# every relative markdown link and every docs/*.md path mentioned in
+# the sources must resolve to a file in the repository
+for doc in README.md docs/*.md; do
+  grep -o '](\([^)#]*\))' "$doc" 2>/dev/null | sed 's/^](//; s/)$//' |
+  grep -v '^[a-z]*://' |
+  while read -r target; do
+    base="$(dirname "$doc")"
+    if ! [ -e "$base/$target" ] && ! [ -e "$target" ]; then
+      echo "broken link in $doc: $target" >&2
+      exit 1
+    fi
+  done
+done
+grep -rho 'docs/[A-Z_]*\.md' lib bin bench --include='*.ml*' | sort -u |
+while read -r target; do
+  if ! [ -e "$target" ]; then
+    echo "source code references missing doc: $target" >&2
+    exit 1
+  fi
+done
 
 if command -v odoc >/dev/null 2>&1; then
   echo "== dune build @doc"

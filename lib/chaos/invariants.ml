@@ -45,6 +45,15 @@ let check cl =
       if r <> 0 then
         bad "sts: node %d holds %d reserved page buffers after quiesce" node r
     done);
+  (* a node that is currently crashed must be truly silent: its kernel
+     was reset and nothing may have repopulated it while it was down *)
+  for node = 0 to nodes - 1 do
+    if Cluster.node_down cl ~node then begin
+      let r = Vm.resident_total vms.(node) in
+      if r <> 0 then
+        bad "crash: down node %d holds %d resident frames" node r
+    end
+  done;
   (* per-page copy-set invariants, both backends *)
   List.iter
     (fun (obj, sharers) ->

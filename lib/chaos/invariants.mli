@@ -14,7 +14,16 @@
       {!Asvm_core.Asvm.check_invariants} — single owner per page, owner
       residency, no stuck operations, no parked requests;
     - {b STS buffer-pool balance} (ASVM): every page receive buffer
-      reserved during the run was released (zero outstanding per node).
+      reserved during the run was released (zero outstanding per node);
+    - {b crashed-node silence}: a node that is down holds no resident
+      frames — recovery traffic must never repopulate a dead kernel.
+
+    These are the properties that must also hold {e across crash
+    epochs}: after {!Asvm_cluster.Cluster.crash_node} /
+    [rejoin_node] cycles (the [Plan.crashes] schedule), a quiesced
+    cluster must still show one writer per page, unforked contents and
+    balanced buffer pools — any write the protocol still exposes to
+    survivors is intact (see [docs/AVAILABILITY.md]).
 
     Violations are human-readable strings; the empty list means the
     system state is coherent.  Callers report violations together with

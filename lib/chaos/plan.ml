@@ -10,15 +10,49 @@ type rule =
   | Blackout of { node : int; from_ms : float; until_ms : float }
   | Slowdown of { node : int; extra_ms : float }
 
-type t = { seed : int; label : string; rules : rule list }
+type crash = { c_victim : int; c_at_ms : float; c_down_ms : float option }
 
-let none = { seed = 0; label = "none"; rules = [] }
+type t = { seed : int; label : string; rules : rule list; crashes : crash list }
+
+let none = { seed = 0; label = "none"; rules = []; crashes = [] }
 
 let lossy ?(p = 0.01) ~seed () =
   {
     seed;
     label = Printf.sprintf "lossy(p=%g)" p;
     rules = [ Drop { p; where = Anywhere } ];
+    crashes = [];
+  }
+
+(* Deterministic rolling schedule: crash the victims in order,
+   [every_ms] apart, each staying down just short of [k] crash periods —
+   so [k] victims are down simultaneously at steady state.  Purely
+   arithmetic, no RNG: the schedule reads off the label. *)
+let rolling ~victims ~k ~start_ms ~every_ms ?down_ms () =
+  if k < 1 then invalid_arg "Plan.rolling: k < 1";
+  if victims = [] then invalid_arg "Plan.rolling: no victims";
+  let down =
+    match down_ms with
+    | Some d -> d
+    | None -> (float_of_int k -. 0.1) *. every_ms
+  in
+  let crashes =
+    List.mapi
+      (fun i v ->
+        {
+          c_victim = v;
+          c_at_ms = start_ms +. (float_of_int i *. every_ms);
+          c_down_ms = Some down;
+        })
+      victims
+  in
+  {
+    seed = 0;
+    label =
+      Printf.sprintf "rolling(k=%d,n=%d,every=%gms,down=%gms)" k
+        (List.length victims) every_ms down;
+    rules = [];
+    crashes;
   }
 
 let random ~seed ~lossy =
@@ -64,6 +98,14 @@ let random ~seed ~lossy =
       Printf.sprintf "random(seed=%d,%s)" seed
         (if lossy then "lossy" else "delay-only");
     rules;
+    crashes = [];
+  }
+
+let with_crashes t crashes =
+  {
+    t with
+    crashes = t.crashes @ crashes;
+    label = Printf.sprintf "%s+crash(%d)" t.label (List.length crashes);
   }
 
 let where_to_string = function
@@ -82,10 +124,18 @@ let rule_to_string = function
   | Slowdown { node; extra_ms } ->
     Printf.sprintf "slowdown node %d +%gms" node extra_ms
 
+let crash_to_string c =
+  Printf.sprintf "crash node %d @%gms%s" c.c_victim c.c_at_ms
+    (match c.c_down_ms with
+    | Some d -> Printf.sprintf " rejoin +%gms" d
+    | None -> " (no rejoin)")
+
 let describe t =
+  let parts =
+    List.map rule_to_string t.rules @ List.map crash_to_string t.crashes
+  in
   Printf.sprintf "%s seed=%d: %s" t.label t.seed
-    (if t.rules = [] then "(no rules)"
-     else String.concat "; " (List.map rule_to_string t.rules))
+    (if parts = [] then "(no rules)" else String.concat "; " parts)
 
 let to_json t =
   Json.Obj
@@ -95,6 +145,9 @@ let to_json t =
       ( "rules",
         Json.List (List.map (fun r -> Json.String (rule_to_string r)) t.rules)
       );
+      ( "crashes",
+        Json.List
+          (List.map (fun c -> Json.String (crash_to_string c)) t.crashes) );
     ]
 
 type event = { index : int; src : int; dst : int; deliveries : float list }
@@ -167,6 +220,21 @@ let net_interposer ?record t : Asvm_mesh.Network.interposer =
  fun ~now ~index ~src ~dst ~bytes:_ ->
   let ds = eval ~salt_base:0 t ~now ~index ~src ~dst in
   { Asvm_mesh.Network.deliveries = recording ?record ds ~index ~src ~dst }
+
+let schedule_crashes t ~engine ~crash ~rejoin =
+  let module E = Asvm_simcore.Engine in
+  List.iter
+    (fun c ->
+      (* crash times are relative to the arming point, so a schedule can
+         be installed after an arbitrarily long setup phase *)
+      let delay = Float.max 0. c.c_at_ms in
+      E.schedule engine ~delay (fun () ->
+          if crash c.c_victim then
+            match c.c_down_ms with
+            | None -> ()
+            | Some d ->
+              E.schedule engine ~delay:d (fun () -> rejoin c.c_victim)))
+    t.crashes
 
 (* the STS layer salts its decisions past every net-layer rule, so a
    plan installed at both layers makes independent choices *)

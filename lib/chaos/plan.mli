@@ -31,13 +31,39 @@ type rule =
   | Slowdown of { node : int; extra_ms : float }
       (** hot node: every message touching [node] pays [extra_ms] *)
 
-type t = { seed : int; label : string; rules : rule list }
+(** One whole-node crash event: [c_victim] dies [c_at_ms] of simulated
+    time after the schedule is armed ({!schedule_crashes}) and rejoins
+    (with empty caches and a fresh incarnation) [c_down_ms] later — or
+    never, when [None]. *)
+type crash = { c_victim : int; c_at_ms : float; c_down_ms : float option }
+
+type t = { seed : int; label : string; rules : rule list; crashes : crash list }
 
 (** The empty plan: no rules, perturbs nothing. *)
 val none : t
 
 (** Uniform [p] drop probability everywhere (default 1%). *)
 val lossy : ?p:float -> seed:int -> unit -> t
+
+(** Deterministic rolling-failure schedule: crash the [victims] in
+    order, [every_ms] of simulated time apart, each staying down just
+    short of [k] crash periods — so [k] victims are down simultaneously
+    at steady state (the "k of n" schedules of the availability suite).
+    [down_ms] overrides the computed down time.  Purely arithmetic — no
+    RNG — so the schedule reads off the plan label.
+    @raise Invalid_argument if [k < 1] or [victims] is empty. *)
+val rolling :
+  victims:int list ->
+  k:int ->
+  start_ms:float ->
+  every_ms:float ->
+  ?down_ms:float ->
+  unit ->
+  t
+
+(** [with_crashes t crashes] appends crash events to a plan — e.g. a
+    lossy plan that also kills nodes. *)
+val with_crashes : t -> crash list -> t
 
 (** A small randomized rule set derived from [seed].  With
     [lossy:false] only delays and slowdowns are generated — the plan
@@ -50,6 +76,7 @@ val random : seed:int -> lossy:bool -> t
 
 val describe : t -> string
 val rule_to_string : rule -> string
+val crash_to_string : crash -> string
 
 (** Plan as JSON (label, seed, rules rendered as strings) — embedded in
     soak reports so a violation names its exact reproduction recipe. *)
@@ -84,3 +111,17 @@ val net_interposer :
     not correlate. *)
 val sts_interposer :
   ?record:(event -> unit) -> t -> Asvm_sts.Sts.interposer
+
+(** Arm the plan's crash schedule on [engine]: [c_at_ms] after the
+    arming point, [crash victim] runs (returning whether the node
+    actually went down — e.g. [Cluster.crashable] says no); if it did
+    and the event has a [c_down_ms], [rejoin victim] runs that much
+    later.  Crash times are relative to the arming point so a schedule
+    can be installed after an arbitrarily long setup phase.  Callbacks
+    keep this module decoupled from the cluster layer. *)
+val schedule_crashes :
+  t ->
+  engine:Asvm_simcore.Engine.t ->
+  crash:(int -> bool) ->
+  rejoin:(int -> unit) ->
+  unit

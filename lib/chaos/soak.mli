@@ -8,6 +8,15 @@
     datagram would hang it, which is a finding about the baseline, not
     a bug to hunt.
 
+    Beyond message faults, the soak runs {e crash cells}: rolling
+    k-of-n whole-node crash/rejoin schedules ({!Plan.rolling}, k = 1 and
+    k = 2 over at least 6 nodes) under every workload and both
+    protocols, on a perfect network so every anomaly is attributable to
+    recovery itself.  Crash cells report recovery latency percentiles
+    (the [asvm.recovery_ms] / [xmm.recovery_ms] histograms) and the
+    pages whose sole copy died with a node ([crash.lost_pages] — the
+    documented, non-silent loss of [docs/AVAILABILITY.md]).
+
     Every cell is an independent simulation and runs as a pure job on
     the {!Asvm_runner.Runner} pool; outcomes are independent of [jobs].
     A violation is reported with its [(seed, plan)] pair, which replays
@@ -27,6 +36,13 @@ type outcome = {
   duplicates_dropped : int;
   sim_ms : float;
   cpu_s : float;
+  crashes : int;  (** whole-node crashes actually executed *)
+  rejoins : int;  (** crashed nodes re-admitted *)
+  lost_pages : int;
+      (** pages whose only copy died with a node (documented loss) *)
+  recovery_p50_ms : float option;
+      (** median post-rejoin fault recovery latency, when any occurred *)
+  recovery_p99_ms : float option;
 }
 
 (** Zero-fault cost of the reliability layer on one ASVM workload:
@@ -44,13 +60,24 @@ type report = {
   seeds : int;
   quick : bool;
   outcomes : outcome list;
+  crash_outcomes : outcome list;
+      (** the rolling crash/rejoin cells, separated for reporting *)
   overheads : overhead list;
   total_violations : int;
+  lost_writes : int;
+      (** silent losses: live copies disagreeing on contents — must be 0 *)
   incomplete : int;  (** outcomes that crashed or hung *)
 }
 
 (** The soak workload names: ["fault"; "chain"; "file"; "em3d"]. *)
 val workloads : string list
+
+(** The deterministic rolling crash schedule a crash cell uses for
+    [workload]: kill [k] of the workload's crashable victims at a
+    cadence matched to its simulated span, each rejoining so that [k]
+    nodes are down concurrently at steady state ({!Plan.rolling}).
+    @raise Invalid_argument on an unknown workload or [k < 1]. *)
+val crash_plan : workload:string -> k:int -> Plan.t
 
 (** Run one cell: [workload] under [plan], with reliable STS iff
     [reliable].  This is the reproduce-by-seed entry point. *)
@@ -63,13 +90,16 @@ val run_one :
   unit ->
   outcome
 
-(** The full soak: [seeds] random plans per (protocol, workload) plus
-    the zero-fault overhead cells.  [quick] shrinks the workload sizes
-    for CI. *)
+(** The full soak: [seeds] random plans per (protocol, workload), the
+    zero-fault overhead cells, and the rolling crash cells (k = 1 and
+    k = 2 per workload and protocol).  [quick] shrinks the workload
+    sizes for CI. *)
 val run : ?jobs:int -> ?seeds:int -> ?quick:bool -> unit -> report
 
+val pp_outcome : Format.formatter -> outcome -> unit
 val pp_report : Format.formatter -> report -> unit
 
-(** Schema ["asvm.chaos/v1"]; [total_violations] and [incomplete] are
-    top-level so CI can grep the report without parsing it. *)
+(** Schema ["asvm.chaos/v1"]; [total_violations], [lost_writes] and
+    [incomplete] are top-level so CI can grep the report without
+    parsing it. *)
 val to_json : report -> Asvm_obs.Json.t

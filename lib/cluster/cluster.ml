@@ -55,6 +55,10 @@ type t = {
   (* distributed objects and their sharer sets *)
   registered : (Ids.obj_id, int list) Hashtbl.t;
   pagers : (Ids.obj_id, Store_pager.t list) Hashtbl.t;
+  (* nodes that must not crash: pager/IO nodes always; under XMM also
+     manager nodes and fork sources (the centralized single points of
+     failure docs/AVAILABILITY.md documents) *)
+  pinned : (int, string) Hashtbl.t;
 }
 
 let create (config : Config.t) =
@@ -106,6 +110,10 @@ let create (config : Config.t) =
     io_disk;
     registered = Hashtbl.create 32;
     pagers = Hashtbl.create 32;
+    pinned =
+      (let p = Hashtbl.create 4 in
+       Hashtbl.replace p config.io_node "hosts the default pager";
+       p);
     metrics;
     engine_gauges =
       {
@@ -182,6 +190,7 @@ let register_backend t ~obj ~size_pages ~sharers ~manager_node ~pagers
   | B_xmm x -> (
     match pagers with
     | [ pager ] ->
+      Hashtbl.replace t.pinned manager_node "hosts an XMM manager";
       Xmm.register_shared_object x ~obj ~size_pages ~manager_node ~pager
         ~sharers
     | _ ->
@@ -209,6 +218,7 @@ let create_file_object t ~size_pages ~sharers ?manager_node ?data ?(stripes = 1)
   let pagers =
     List.init stripes (fun s ->
         let node = (t.config.io_node + s) mod t.config.nodes in
+        Hashtbl.replace t.pinned node "hosts a file pager";
         let disk =
           if s = 0 then t.io_disk else Disk.create t.engine t.config.disk
         in
@@ -348,6 +358,7 @@ let fork_asvm t a ~task ~dst_node k =
 
 let fork_xmm t x ~task ~dst_node k =
   let src_node = task.tk_node in
+  Hashtbl.replace t.pinned src_node "hosts an XMM internal pager (fork source)";
   let child = create_task t ~node:dst_node in
   let entries = Vm.entries t.vms.(src_node) ~task:task.tk_id in
   List.iter
@@ -418,6 +429,54 @@ module Barrier = struct
         ws
     end
 end
+
+(* ------------------------------------------------------------------ *)
+(* Crash and rejoin                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let node_down t ~node = Network.is_down t.net node
+
+let crashable t ~node =
+  node >= 0 && node < t.config.nodes
+  && (not (Hashtbl.mem t.pinned node))
+  && not (Network.is_down t.net node)
+
+let crash_node t ~node =
+  if node < 0 || node >= t.config.nodes then
+    invalid_arg (Printf.sprintf "Cluster.crash_node: no node %d" node);
+  (match Hashtbl.find_opt t.pinned node with
+  | Some role ->
+    invalid_arg (Printf.sprintf "Cluster.crash_node: node %d %s" node role)
+  | None -> ());
+  if Network.is_down t.net node then
+    invalid_arg (Printf.sprintf "Cluster.crash_node: node %d is already down" node);
+  (* order matters: mark the node down first so the recovery traffic the
+     backend generates cannot be routed through (or delivered to) the
+     victim, then drop its kernel state, then recover the shared
+     protocol state *)
+  Network.set_down t.net node;
+  Vm.crash_reset t.vms.(node);
+  (match t.backend with
+  | B_asvm a -> Asvm.crash_node a ~node
+  | B_xmm x -> Xmm.crash_node x ~node);
+  Metrics.Counter.incr (Metrics.Registry.counter t.metrics "chaos.crashes");
+  Trace.emit t.trace ~time:(now t) ~node
+    (Trace.Note
+       { category = "crash"; detail = Printf.sprintf "node %d crashed" node })
+
+let rejoin_node t ~node =
+  if node < 0 || node >= t.config.nodes then
+    invalid_arg (Printf.sprintf "Cluster.rejoin_node: no node %d" node);
+  if not (Network.is_down t.net node) then
+    invalid_arg (Printf.sprintf "Cluster.rejoin_node: node %d is not down" node);
+  Network.set_up t.net node;
+  (match t.backend with
+  | B_asvm a -> Asvm.rejoin_node a ~node
+  | B_xmm x -> Xmm.rejoin_node x ~node);
+  Metrics.Counter.incr (Metrics.Registry.counter t.metrics "chaos.rejoins");
+  Trace.emit t.trace ~time:(now t) ~node
+    (Trace.Note
+       { category = "crash"; detail = Printf.sprintf "node %d rejoined" node })
 
 (* ------------------------------------------------------------------ *)
 (* Statistics                                                         *)

@@ -134,6 +134,35 @@ module Barrier : sig
   val arrive : t -> (unit -> unit) -> unit
 end
 
+(** {1 Crash and rejoin (see [docs/AVAILABILITY.md])} *)
+
+(** Is [node] currently crashed (down in the mesh liveness registry)? *)
+val node_down : t -> node:int -> bool
+
+(** Can [node] be crashed right now? False for out-of-range nodes, nodes
+    already down, and {e pinned} nodes — those hosting a pager, an XMM
+    manager, or an XMM fork source — whose loss the failure model does
+    not cover.  The chaos planner uses this to pick victims. *)
+val crashable : t -> node:int -> bool
+
+(** Crash [node] whole: marks it down in the mesh liveness registry
+    (messages in flight divert to the transports' dead-letter hooks),
+    drops its kernel state ({!Asvm_machvm.Vm.crash_reset}), and runs the
+    backend's recovery — ownership re-election under ASVM
+    ({!Asvm_core.Asvm.crash_node}), manager-side bookkeeping under XMM
+    ({!Asvm_xmm.Xmm.crash_node}).  Increments the [chaos.crashes]
+    counter and emits a [crash] trace note.
+    @raise Invalid_argument if the node is pinned, already down, or out
+    of range — check {!crashable} first. *)
+val crash_node : t -> node:int -> unit
+
+(** Re-admit a crashed node with empty caches: marks it up (with a new
+    incarnation, so stale messages to its previous life stay dead) and
+    re-drives the kernel faults that survived the crash.  Increments
+    [chaos.rejoins].
+    @raise Invalid_argument if the node is not down. *)
+val rejoin_node : t -> node:int -> unit
+
 (** {1 Statistics} *)
 
 (** The pager task(s) behind an object created through this module. *)

@@ -1,5 +1,6 @@
 module Engine = Asvm_simcore.Engine
 module Stats = Asvm_simcore.Stats
+module Network = Asvm_mesh.Network
 module Sts = Asvm_sts.Sts
 module Vm = Asvm_machvm.Vm
 module Prot = Asvm_machvm.Prot
@@ -49,6 +50,17 @@ type request = {
   mutable r_hops : int;
   mutable r_ring : int;  (** -1 = not sweeping; else the sweep's start node *)
   r_kind : rkind;
+  r_origin_inc : int;
+      (** the origin's crash incarnation when the request was issued: a
+          request outlives its origin's crash only as garbage, dropped
+          at its next routing hop (see [docs/AVAILABILITY.md]) *)
+  r_gen : int;
+      (** fault generation at the origin, echoed back in the reply.  A
+          crash-recovery re-drive bumps the generation so answers to the
+          superseded request are discarded instead of double-consuming
+          the origin's receive-buffer reservation.  [-1] = not
+          generation-checked (push scans, local-upgrade requests and
+          kernel retries, which never re-drive). *)
 }
 
 type msg =
@@ -70,8 +82,15 @@ type msg =
               the new owner, so the origin must not repeat the update —
               this is what keeps a remote ownership transfer at the
               paper's three messages *)
+      gen : int;  (** echo of the request's [r_gen] *)
     }
-  | A_grant of { obj : Ids.obj_id; page : int; version : int; from : int }
+  | A_grant of {
+      obj : Ids.obj_id;
+      page : int;
+      version : int;
+      from : int;
+      gen : int;
+    }
   | A_invalidate of { obj : Ids.obj_id; page : int; new_owner : int; from : int }
   | A_inval_ack of { obj : Ids.obj_id; page : int }
   | A_owner_update of { obj : Ids.obj_id; page : int; hint : shint }
@@ -159,6 +178,10 @@ type pstate = {
   mutable p_version : int;  (** pushes complete up to this object version *)
   mutable p_busy : bool;
   mutable p_pushing : bool;
+  mutable p_active : request option;
+      (** the fault currently being served ([p_busy]); queued requests
+          live in [p_queue], but the one in service is reachable nowhere
+          else — crash recovery re-drives it from its origin *)
   p_queue : request Queue.t;
   p_retries : request Queue.t;  (** pulls held during a push (3.7.3) *)
   mutable p_acks : int;  (** outstanding invalidation acks *)
@@ -196,11 +219,18 @@ type inst = {
      offer), keyed by page *)
   i_answers : (int, bool -> unit) Hashtbl.t;
   (* pages this node has its own fault request in flight for (value =
-     simulated time the fault fired, feeding the transfer-latency
-     histogram); foreign requests arriving meanwhile park here until
-     ownership lands *)
-  i_outstanding : (int, float) Hashtbl.t;
+     time the fault fired, feeding the latency histogram, and the fault
+     generation — bumped by crash-recovery re-drives); foreign requests
+     arriving meanwhile park here until ownership lands *)
+  i_outstanding : (int, float * int) Hashtbl.t;
+  mutable i_next_gen : int;
   i_waiting_inbound : (int, request Queue.t) Hashtbl.t;
+  (* answers this node owes for delivered-but-not-yet-answered messages
+     (invalidations, push locks, pager offers: anything whose reply
+     waits on an async kernel call or a buffer retry loop).  If the
+     node crashes inside that window, recovery synthesizes each owed
+     answer at its destination so the waiting peer is not stranded. *)
+  mutable i_owed_acks : (int * msg) list;
   (* pager-node role: page -> node the pager last granted the page to;
      serializes simultaneous cold faults on one page (single-owner) *)
   i_granted : (int, int) Hashtbl.t;
@@ -224,10 +254,12 @@ type handles = {
   hm_fault_read : Metrics.Histogram.t;
   hm_fault_ownership : Metrics.Histogram.t;
   hm_forwarding : Metrics.Counter.t array;  (* per forwarding mechanism *)
+  hm_recovery : Metrics.Histogram.t;  (* asvm.recovery_ms *)
 }
 
 type t = {
   sts : msg Sts.t;
+  net : Network.t;
   vms : Vm.t array;
   wpp : int;
   config : config;
@@ -236,10 +268,15 @@ type t = {
   metrics : Metrics.Registry.t;
   handles : handles;
   trace : Trace.t option;
+  (* (node, obj, page) -> time a crash put this fault into recovery
+     (dead-letter re-drive or rejoin re-drive); completion of the fresh
+     fault samples the asvm.recovery_ms histogram *)
+  recovering : (int * Ids.obj_id * int, float) Hashtbl.t;
 }
 
 let counters t = t.counters
 let now t = Engine.now (Vm.engine t.vms.(0))
+
 let sts_messages t = Sts.messages t.sts
 let sts_page_messages t = Sts.page_messages t.sts
 let sts_retransmits t = Sts.retransmits t.sts
@@ -391,6 +428,7 @@ let make_handles metrics =
           "loop_break"; "dynamic"; "to_static"; "static_hit"; "fresh_hint";
           "paged_hint"; "global_sweep";
         |];
+    hm_recovery = Metrics.Registry.histogram metrics "asvm.recovery_ms";
   }
 
 (* forwarding-mechanism indices into [hm_forwarding] *)
@@ -473,10 +511,26 @@ let sharer_index i node =
   Array.iteri (fun idx n -> if n = node then found := idx) i.i_sharers;
   !found
 
-let next_sharer i node =
+(* The global forwarding ring, made crash-aware: the walk from [node]
+   skips nodes that are currently down (their owner state died with
+   them) and reports [None] when it would pass [stop] — the sweep's
+   starting point, which may itself have crashed meanwhile, so
+   termination cannot rely on reaching it. *)
+let ring_next t i ~node ~stop =
+  let n = Array.length i.i_sharers in
   let idx = sharer_index i node in
-  if idx < 0 then i.i_sharers.(0)
-  else i.i_sharers.((idx + 1) mod Array.length i.i_sharers)
+  let start = if idx < 0 then 0 else (idx + 1) mod n in
+  let stop_idx = sharer_index i stop in
+  let rec pick k =
+    if k >= n then None
+    else
+      let j = (start + k) mod n in
+      if stop_idx >= 0 && j = stop_idx then None
+      else
+        let c = i.i_sharers.(j) in
+        if Network.is_down t.net c || c = node then pick (k + 1) else Some c
+  in
+  pick 0
 
 let zero t = Contents.zero ~words:t.wpp
 
@@ -489,6 +543,7 @@ let new_pstate ~version =
     p_version = version;
     p_busy = false;
     p_pushing = false;
+    p_active = None;
     p_queue = Queue.create ();
     p_retries = Queue.create ();
     p_acks = 0;
@@ -512,7 +567,28 @@ let update_static t i ~page ~hint =
 (* Request forwarding (the redirector, paper 3.3/3.4)                 *)
 (* ------------------------------------------------------------------ *)
 
+(* Crash staleness: a request whose origin crashed answers a fault that
+   died with the node — drop it wherever it is next routed.  A
+   crash-recovery re-drive bumps the origin's fault generation, which
+   equally invalidates the superseded request.  Consulting the origin's
+   table from a remote hop is a simulator shortcut standing in for the
+   cancellation round a real recovery protocol would run. *)
+let request_stale t req =
+  Network.is_down t.net req.r_origin
+  || Network.incarnation t.net req.r_origin <> req.r_origin_inc
+  || (req.r_kind = K_fault && req.r_gen >= 0
+     &&
+     match Hashtbl.find_opt t.insts (req.r_origin, req.r_origin_obj) with
+     | None -> true
+     | Some oi -> (
+       match Hashtbl.find_opt oi.i_outstanding req.r_page with
+       | Some (_, g) -> g <> req.r_gen
+       | None -> true))
+
 let rec route_request t node req =
+  if request_stale t req then
+    Stats.Counters.incr t.counters "crash.stale_requests"
+  else
   let i = inst t node req.r_obj in
   match Hashtbl.find_opt i.i_pages req.r_page with
   | Some ps -> owner_handle t node i ps req
@@ -520,10 +596,16 @@ let rec route_request t node req =
     if
       req.r_kind = K_fault
       && req.r_origin <> node
+      && req.r_ring < 0
       && Hashtbl.mem i.i_outstanding req.r_page
     then begin
       (* this node's own fault for the page is in flight and will make
-         it the owner: park the foreign request until then *)
+         it the owner: park the foreign request until then.  A sweeping
+         request ([r_ring >= 0]) must NOT park: after the static
+         manager's hint table died in a crash, every stuck faulter
+         sweeps, and sweeps parking at each other's in-flight faults
+         form a cycle nobody can drain.  The sweep instead runs to the
+         pager, whose grant table serializes the claims. *)
       let q =
         match Hashtbl.find_opt i.i_waiting_inbound req.r_page with
         | Some q -> q
@@ -550,7 +632,7 @@ and forward_request t node i req =
       if i.i_fwd.dynamic then Hint_cache.find i.i_dyn ~page:req.r_page else None
     in
     match hint with
-    | Some target when target <> node ->
+    | Some target when target <> node && not (Network.is_down t.net target) ->
       Stats.Counters.incr t.counters "forward.dynamic";
       count_forward t fwd_dynamic;
       (* Note: Li's hint-chain collapse ("the originator becomes the
@@ -565,7 +647,11 @@ and forward_request t node i req =
     | Some _ | None ->
       if i.i_fwd.static then begin
         let sm = static_mgr i req.r_page in
-        if sm <> node then begin
+        if Network.is_down t.net sm then
+          (* the page's static manager is down: its hint table is gone,
+             only the ring sweep can find a surviving owner *)
+          start_sweep t node i req
+        else if sm <> node then begin
           Stats.Counters.incr t.counters "forward.to_static";
           count_forward t fwd_to_static;
           send t ~src:node ~dst:sm (A_request req)
@@ -587,7 +673,8 @@ and consult_static t node i req =
     end
   in
   match Hint_cache.find i.i_static ~page:req.r_page with
-  | Some (S_at target) when target <> node ->
+  | Some (S_at target) when target <> node && not (Network.is_down t.net target)
+    ->
     Stats.Counters.incr t.counters "forward.static_hit";
     count_forward t fwd_static_hit;
     send t ~src:node ~dst:target (A_request req)
@@ -619,14 +706,12 @@ and start_sweep t node i req =
   Stats.Counters.incr t.counters "forward.global_sweeps";
   count_forward t fwd_global_sweep;
   req.r_ring <- node;
-  let next = next_sharer i node in
-  if next = node then end_of_search t node i req
-  else send t ~src:node ~dst:next (A_request req)
+  sweep_step t node i req
 
 and sweep_step t node i req =
-  let next = next_sharer i node in
-  if next = req.r_ring then end_of_search t node i req
-  else send t ~src:node ~dst:next (A_request req)
+  match ring_next t i ~node ~stop:req.r_ring with
+  | None -> end_of_search t node i req
+  | Some next -> send t ~src:node ~dst:next (A_request req)
 
 (* The sweep (or hint path) found no owner anywhere. *)
 and end_of_search t node i req =
@@ -639,9 +724,13 @@ and pager_lookup t node i req =
   match Hashtbl.find_opt i.i_granted req.r_page with
   | Some holder
     when req.r_kind <> K_push_scan && holder <> req.r_origin && not escalated
+         && not (Network.is_down t.net holder)
     ->
     (* the pager already handed this page to someone: chase the holder
-       instead of creating a second owner *)
+       instead of creating a second owner.  Leave sweep mode — the
+       chased request must be allowed to park behind the holder's
+       in-flight fault rather than sweep past it forever. *)
+    req.r_ring <- -1;
     send t ~src:node ~dst:holder (A_request req)
   | _ ->
   if Store_pager.has (pager_of i req.r_page) ~obj:req.r_obj ~page:req.r_page
@@ -671,6 +760,7 @@ and pager_lookup t node i req =
                  dirty = false;
                  from = node;
                  updated = true;
+                 gen = req.r_gen;
                }))
   end
   else
@@ -714,6 +804,7 @@ and conclude_fresh t node i req =
            dirty = false;
            from = node;
            updated = true;
+           gen = req.r_gen;
          })
 
 (* ------------------------------------------------------------------ *)
@@ -734,6 +825,7 @@ and owner_handle t node i ps req =
     if ps.p_busy then Queue.push req ps.p_queue
     else begin
       ps.p_busy <- true;
+      ps.p_active <- Some req;
       Vm.wire t.vms.(node) ~obj:req.r_obj ~page:req.r_page;
       if Prot.equal req.r_want Prot.Read_write then
         owner_write_grant t node i ps req
@@ -759,6 +851,7 @@ and reply_pull t node _i ps req =
            dirty = false;
            from = node;
            updated = false;
+           gen = req.r_gen;
          })
   | None ->
     (* owner invariant violated only transiently; treat as not found *)
@@ -792,6 +885,7 @@ and owner_read_grant t node i ps req =
                dirty = false;
                from = node;
                updated = false;
+               gen = req.r_gen;
              });
         finish_owner_op t node i ps req.r_page ~moved_to:(Some node))
 
@@ -835,7 +929,13 @@ and owner_write_grant t node i ps req =
                 if req.r_upgrade && was_reader then
                   send t ~src:node ~dst:req.r_origin
                     (A_grant
-                       { obj = req.r_obj; page; version = ps.p_version; from = node })
+                       {
+                         obj = req.r_obj;
+                         page;
+                         version = ps.p_version;
+                         from = node;
+                         gen = req.r_gen;
+                       })
                 else begin
                   let contents =
                     match Vm.frame_contents vm ~obj:req.r_obj ~page with
@@ -856,6 +956,7 @@ and owner_write_grant t node i ps req =
                          dirty;
                          from = node;
                          updated = true;
+                         gen = req.r_gen;
                        })
                 end;
                 (* the old owner flushes its own copy: single writer *)
@@ -892,6 +993,7 @@ and invalidate_readers t node i ps ~page ~except k =
    ownership now lives. *)
 and finish_owner_op t node i ps page ~moved_to =
   let vm = t.vms.(node) in
+  ps.p_active <- None;
   let still_here = moved_to = Some node in
   if still_here then begin
     ps.p_busy <- false;
@@ -984,6 +1086,8 @@ and run_push_if_needed t node i ps page k =
             r_hops = 0;
             r_ring = -1;
             r_kind = K_push_scan;
+            r_origin_inc = Network.incarnation t.net node;
+            r_gen = -1;
           }
         in
         send t ~src:node ~dst:peer (A_request req))
@@ -1163,19 +1267,39 @@ let drain_inbound t node i page =
       (fun req -> Engine.schedule (Vm.engine vm) ~delay (fun () -> route_request t node req))
       q
 
-(* A completed fault: sample its latency into the registry. *)
+(* A completed fault: sample its latency into the registry; when the
+   fault was in crash recovery (re-driven after a dead letter or a
+   rejoin), also sample the recovery-latency histogram. *)
 let observe_fault_latency t i ~page ~ownership =
-  match Hashtbl.find_opt i.i_outstanding page with
+  (match Hashtbl.find_opt i.i_outstanding page with
   | None -> ()
-  | Some t0 ->
+  | Some (t0, _gen) ->
     Metrics.Histogram.observe
       (if ownership then t.handles.hm_fault_ownership
        else t.handles.hm_fault_read)
-      (now t -. t0)
+      (now t -. t0));
+  match Hashtbl.find_opt t.recovering (i.i_node, i.i_obj, page) with
+  | None -> ()
+  | Some t0 ->
+    Hashtbl.remove t.recovering (i.i_node, i.i_obj, page);
+    Metrics.Histogram.observe t.handles.hm_recovery (now t -. t0)
 
 let handle_reply t node
-    (origin_obj, page, contents, grant, owner, readers, version, dirty, from, updated) =
+    (origin_obj, page, contents, grant, owner, readers, version, dirty, from,
+     updated, gen) =
   let i = inst t node origin_obj in
+  let stale =
+    (* a generation-checked reply answering a superseded request: the
+       re-driven fault still holds this node's receive-buffer
+       reservation, so the stale answer must not consume it *)
+    gen >= 0
+    &&
+    match Hashtbl.find_opt i.i_outstanding page with
+    | Some (_, g) -> g <> gen
+    | None -> true
+  in
+  if stale then Stats.Counters.incr t.counters "crash.stale_replies"
+  else begin
   Sts.release_buffer t.sts ~node;
   observe_fault_latency t i ~page ~ownership:owner;
   Hashtbl.remove i.i_outstanding page;
@@ -1199,10 +1323,9 @@ let handle_reply t node
       ~static_updated:updated
   else Hint_cache.put i.i_dyn ~page from;
   drain_inbound t node i page
+  end
 
 let reissue t node ~origin_obj ~page ~want ~upgrade =
-  let i = inst t node origin_obj in
-  ignore i;
   let req =
     {
       r_origin = node;
@@ -1215,9 +1338,12 @@ let reissue t node ~origin_obj ~page ~want ~upgrade =
       r_hops = 0;
       r_ring = -1;
       r_kind = K_fault;
+      r_origin_inc = Network.incarnation t.net node;
+      r_gen = -1;
     }
   in
   route_request t node req
+
 
 let rec handle t node msg =
   match msg with
@@ -1227,43 +1353,67 @@ let rec handle t node msg =
     let i = inst t node req.r_obj in
     pager_lookup t node i req
   | A_reply
-      { origin_obj; page; contents; grant; owner; readers; version; dirty; from; updated }
+      { origin_obj; page; contents; grant; owner; readers; version; dirty; from;
+        updated; gen }
     ->
     handle_reply t node
-      (origin_obj, page, contents, grant, owner, readers, version, dirty, from, updated)
-  | A_grant { obj; page; version; from } ->
+      ( origin_obj, page, contents, grant, owner, readers, version, dirty, from,
+        updated, gen )
+  | A_grant { obj; page; version; from; gen } ->
     let i = inst t node obj in
-    Sts.release_buffer t.sts ~node;
-    observe_fault_latency t i ~page ~ownership:true;
-    Hashtbl.remove i.i_outstanding page;
-    if Vm.is_resident t.vms.(node) ~obj ~page then begin
-      Vm.lock_request t.vms.(node) ~obj ~page
-        ~op:{ Emmi.max_access = Prot.Read_write; clean = false; mode = Emmi.Lock_plain }
-        ~reply:(fun _ -> ());
-      (* the granting owner already updated the static manager *)
-      install_owner t node i ~page ~readers:[] ~version ~dirty:false
-        ~static_updated:true;
-      ignore from;
-      drain_inbound t node i page
-    end
+    let stale =
+      gen >= 0
+      &&
+      match Hashtbl.find_opt i.i_outstanding page with
+      | Some (_, g) -> g <> gen
+      | None -> true
+    in
+    if stale then Stats.Counters.incr t.counters "crash.stale_replies"
     else begin
-      (* the read copy vanished while the grant was in flight *)
-      let rec acquire () =
-        if Sts.reserve_buffer t.sts ~node then
-          reissue t node ~origin_obj:obj ~page ~want:Prot.Read_write
-            ~upgrade:false
-        else Engine.schedule (Vm.engine t.vms.(node)) ~delay:0.5 acquire
-      in
-      acquire ()
+      Sts.release_buffer t.sts ~node;
+      observe_fault_latency t i ~page ~ownership:true;
+      Hashtbl.remove i.i_outstanding page;
+      if Vm.is_resident t.vms.(node) ~obj ~page then begin
+        Vm.lock_request t.vms.(node) ~obj ~page
+          ~op:{ Emmi.max_access = Prot.Read_write; clean = false; mode = Emmi.Lock_plain }
+          ~reply:(fun _ -> ());
+        (* the granting owner already updated the static manager *)
+        install_owner t node i ~page ~readers:[] ~version ~dirty:false
+          ~static_updated:true;
+        ignore from;
+        drain_inbound t node i page
+      end
+      else begin
+        (* the read copy vanished while the grant was in flight *)
+        let rec acquire () =
+          if Network.is_down t.net node then ()
+          else if Sts.reserve_buffer t.sts ~node then
+            reissue t node ~origin_obj:obj ~page ~want:Prot.Read_write
+              ~upgrade:false
+          else Engine.schedule (Vm.engine t.vms.(node)) ~delay:0.5 acquire
+        in
+        acquire ()
+      end
     end
   | A_invalidate { obj; page; new_owner; from } ->
-    (* transition 8 *)
+    (* transition 8.  The ack waits on an async kernel call: record it
+       as owed so a crash inside the window still acknowledges (the
+       crashed node holds no copy either way). *)
     let i = inst t node obj in
+    let owed = (from, A_inval_ack { obj; page }) in
+    i.i_owed_acks <- owed :: i.i_owed_acks;
+    let inc = Network.incarnation t.net node in
     Vm.lock_request t.vms.(node) ~obj ~page
       ~op:{ Emmi.max_access = Prot.No_access; clean = false; mode = Emmi.Lock_plain }
       ~reply:(fun _ ->
-        Hint_cache.put i.i_dyn ~page new_owner;
-        send t ~src:node ~dst:from (A_inval_ack { obj; page }))
+        if
+          Network.incarnation t.net node = inc
+          && not (Network.is_down t.net node)
+        then begin
+          i.i_owed_acks <- List.filter (fun o -> o != owed) i.i_owed_acks;
+          Hint_cache.put i.i_dyn ~page new_owner;
+          send t ~src:node ~dst:from (A_inval_ack { obj; page })
+        end)
   | A_inval_ack { obj; page } -> (
     let i = inst t node obj in
     match Hashtbl.find_opt i.i_pages page with
@@ -1335,9 +1485,18 @@ let rec handle t node msg =
       update_static t i ~page ~hint:S_paged
     end
   | A_pager_offer { obj; page; from } ->
+    (* the grant may wait in a buffer retry loop: owe it, so a crash
+       mid-loop still answers — the contents then dead-letter into the
+       store, which survives the crash *)
+    let i = inst t node obj in
+    let owed = (from, A_pager_grant { obj; page }) in
+    i.i_owed_acks <- owed :: i.i_owed_acks;
     let rec acquire () =
-      if Sts.reserve_buffer t.sts ~node then
+      if Network.is_down t.net node then ()
+      else if Sts.reserve_buffer t.sts ~node then begin
+        i.i_owed_acks <- List.filter (fun o -> o != owed) i.i_owed_acks;
         send t ~src:node ~dst:from (A_pager_grant { obj; page })
+      end
       else Engine.schedule (Vm.engine t.vms.(node)) ~delay:1.0 acquire
     in
     acquire ()
@@ -1382,16 +1541,28 @@ let rec handle t node msg =
     end
   | A_push_lock { obj; page; from } ->
     let vm = t.vms.(node) in
+    let i = inst t node obj in
+    let owed =
+      (from, A_push_lock_done { obj; page; from = node; needs_contents = false })
+    in
+    i.i_owed_acks <- owed :: i.i_owed_acks;
+    let inc = Network.incarnation t.net node in
     Vm.lock_request vm ~obj ~page
       ~op:{ Emmi.max_access = Prot.Read_only; clean = false; mode = Emmi.Lock_push_first }
       ~reply:(fun result ->
-        let needs_contents =
-          match result with
-          | Emmi.Lock_not_present -> Sts.reserve_buffer t.sts ~node
-          | Emmi.Lock_done _ -> false
-        in
-        send t ~src:node ~dst:from
-          (A_push_lock_done { obj; page; from = node; needs_contents }))
+        if
+          Network.incarnation t.net node = inc
+          && not (Network.is_down t.net node)
+        then begin
+          i.i_owed_acks <- List.filter (fun o -> o != owed) i.i_owed_acks;
+          let needs_contents =
+            match result with
+            | Emmi.Lock_not_present -> Sts.reserve_buffer t.sts ~node
+            | Emmi.Lock_done _ -> false
+          in
+          send t ~src:node ~dst:from
+            (A_push_lock_done { obj; page; from = node; needs_contents })
+        end)
   | A_push_lock_done { obj; page; from; needs_contents } -> (
     let i = inst t node obj in
     match Hashtbl.find_opt i.i_push_ops page with
@@ -1411,12 +1582,20 @@ let rec handle t node msg =
   | A_push_ack { home; page } ->
     push_op_done (inst t node home) ~page
   | A_push_prepare { copy; home; page; from } ->
-    (* reserve a buffer for the incoming pushed page of a shared copy *)
-    if Sts.reserve_buffer t.sts ~node then
-      send t ~src:node ~dst:from (A_push_ready { copy; home; page })
-    else
-      Engine.schedule (Vm.engine t.vms.(node)) ~delay:1.0 (fun () ->
-          handle t node msg)
+    (* reserve a buffer for the incoming pushed page of a shared copy;
+       owe the pusher an ack in case this node crashes mid-retry *)
+    let i = inst t node copy in
+    let owed = (from, A_push_ack { home; page }) in
+    i.i_owed_acks <- owed :: i.i_owed_acks;
+    let rec acquire () =
+      if Network.is_down t.net node then ()
+      else if Sts.reserve_buffer t.sts ~node then begin
+        i.i_owed_acks <- List.filter (fun o -> o != owed) i.i_owed_acks;
+        send t ~src:node ~dst:from (A_push_ready { copy; home; page })
+      end
+      else Engine.schedule (Vm.engine t.vms.(node)) ~delay:1.0 acquire
+    in
+    acquire ()
   | A_push_ready { copy; home; page } -> (
     let i = inst t node home in
     match Hashtbl.find_opt i.i_push_ops page with
@@ -1488,6 +1667,7 @@ and handle_pull t node req =
                dirty = false;
                from = node;
                updated = false;
+               gen = req.r_gen;
              })
       | Emmi.Pull_zero_fill ->
         send t ~src:node ~dst:req.r_origin
@@ -1503,6 +1683,7 @@ and handle_pull t node req =
                dirty = false;
                from = node;
                updated = false;
+               gen = req.r_gen;
              })
       | Emmi.Pull_ask_shadow shadow_obj ->
         (* continue the search in the shadow object's SVM space *)
@@ -1510,6 +1691,246 @@ and handle_pull t node req =
         req.r_ring <- -1;
         let req = { req with r_kind = K_pull } in
         route_request t node req)
+
+(* ------------------------------------------------------------------ *)
+(* Node crash and rejoin (see docs/AVAILABILITY.md)                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Apply a hint at the page's static manager without a message.  Crash
+   recovery runs at simulator level — a send from the crashed node
+   would silently vanish — standing in for the recovery coordinator a
+   real implementation would run on a surviving node.
+
+   Never write into a manager that is itself down: the hint would
+   survive in its rebuilt table until rejoin, but claims made meanwhile
+   bypass the dead manager (requests sweep to the pager instead), so
+   nothing can correct it — a stale [S_fresh] resurfacing at rejoin
+   would zero-grant a second owner.  The rebuilt table's conservative
+   state (every page marked ever-owned, forcing a sweep whose endpoint
+   is the pager's serializing grant table) is the safe answer. *)
+let set_static_hint t i ~page ~hint =
+  let sm = static_mgr i page in
+  if not (Network.is_down t.net sm) then
+    match Hashtbl.find_opt t.insts (sm, i.i_obj) with
+    | None -> ()
+    | Some mi ->
+      Hint_cache.put mi.i_static ~page hint;
+      Bytes.set mi.i_seen page '\001'
+
+(* Forget that the pager last granted [page] to a node whose copy died
+   with it, so the next cold fault is not chased into the crash site. *)
+let purge_granted t i ~page =
+  let pnode = Store_pager.node (pager_of i page) in
+  match Hashtbl.find_opt t.insts (pnode, i.i_obj) with
+  | Some pi -> Hashtbl.remove pi.i_granted page
+  | None -> ()
+
+(* Restart a fault whose request or answer was lost to a crash.  The
+   re-drive bumps the origin's fault generation so any answer to the
+   superseded request is dropped instead of double-consuming the
+   origin's receive-buffer reservation; generation [-1] requests (which
+   never race their own re-drive) restart as they were.  A fault whose
+   outstanding entry is gone or superseded has already been answered —
+   nothing to recover. *)
+let redrive_fault t req =
+  let origin = req.r_origin in
+  if
+    Network.is_down t.net origin
+    || Network.incarnation t.net origin <> req.r_origin_inc
+  then ()
+  else
+    match Hashtbl.find_opt t.insts (origin, req.r_origin_obj) with
+    | None -> ()
+    | Some oi -> (
+      let gen =
+        if req.r_gen < 0 then Some (-1)
+        else
+          match Hashtbl.find_opt oi.i_outstanding req.r_page with
+          | Some (t0, g) when g = req.r_gen ->
+            let g' = oi.i_next_gen in
+            oi.i_next_gen <- g' + 1;
+            Hashtbl.replace oi.i_outstanding req.r_page (t0, g');
+            Some g'
+          | Some _ | None -> None
+      in
+      match gen with
+      | None -> ()
+      | Some gen ->
+        Stats.Counters.incr t.counters "crash.redrives";
+        let key = (origin, req.r_origin_obj, req.r_page) in
+        if not (Hashtbl.mem t.recovering key) then
+          Hashtbl.replace t.recovering key (now t);
+        route_request t origin
+          {
+            req with
+            r_obj = req.r_origin_obj;
+            r_hops = 0;
+            r_ring = -1;
+            r_kind = K_fault;
+            r_gen = gen;
+          })
+
+(* Hand a synthesized message to a node as if it had been delivered. *)
+let deliver_if_alive t node msg =
+  if not (Network.is_down t.net node) then handle t node msg
+
+(* The transports' dead-letter hook: every message that could not be
+   delivered because an endpoint crashed lands here, as a fresh engine
+   event.  When only the sender died the content is still valid — the
+   staleness guards protect against resurrecting a dead fault — so it
+   is applied at the receiver verbatim.  When the receiver died, each
+   message kind gets the conservative synthesis that keeps the
+   survivors' protocol machines moving (see docs/AVAILABILITY.md for
+   the case-by-case rationale). *)
+let salvage t ~src ~dst ~src_dead ~dst_dead msg =
+  if not dst_dead then begin
+    Stats.Counters.incr t.counters "crash.salvaged";
+    match msg with
+    | A_reply { owner = false; origin_obj; page; grant; gen; _ } when src_dead
+      ->
+      (* A read grant from an owner that died after sending it.  The
+         crash re-elected a new owner whose reader list was rebuilt
+         from the dead owner's registrations filtered to *resident*
+         survivors — the origin, whose copy was still in flight, is not
+         on it.  Installing the copy would leave an unregistered reader
+         that later invalidation rounds cannot see, forking the page.
+         Drop the contents and redrive the fault: the fresh request
+         reaches the re-elected owner, which registers the origin
+         properly. *)
+      redrive_fault t
+        {
+          r_origin = dst;
+          r_origin_obj = origin_obj;
+          r_obj = origin_obj;
+          r_page = page;
+          r_want = grant;
+          r_upgrade = false;
+          r_scan_home = origin_obj;
+          r_hops = 0;
+          r_ring = -1;
+          r_kind = K_fault;
+          r_origin_inc = Network.incarnation t.net dst;
+          r_gen = gen;
+        }
+    | msg -> handle t dst msg
+  end
+  else
+    let inst_opt obj = Hashtbl.find_opt t.insts (dst, obj) in
+    match msg with
+    | A_request req | A_pager_lookup req | A_pull req ->
+      if req.r_kind = K_push_scan then
+        (* [found = false] is the safe answer: it costs at most one
+           redundant push, where [true] could skip a needed one *)
+        deliver_if_alive t req.r_origin
+          (A_scan_answer
+             {
+               home = req.r_scan_home;
+               page = req.r_page;
+               copy = req.r_origin_obj;
+               found = false;
+             })
+      else redrive_fault t req
+    | A_reply { origin_obj; page; contents; owner; _ } -> (
+      match inst_opt origin_obj with
+      | None -> ()
+      | Some i ->
+        if owner then begin
+          (match contents with
+          | Some c ->
+            (* ownership plus data died in flight to the crashed
+               origin: write the page back to its pager — the store
+               survives the crash (stable storage) *)
+            Stats.Counters.incr t.counters "crash.rescued_pages";
+            Store_pager.remember (pager_of i page) ~obj:origin_obj ~page
+              ~contents:c;
+            set_static_hint t i ~page ~hint:S_paged
+          | None ->
+            set_static_hint t i ~page
+              ~hint:
+                (if Store_pager.has (pager_of i page) ~obj:origin_obj ~page
+                 then S_paged
+                 else S_fresh));
+          purge_granted t i ~page
+        end)
+    | A_grant { obj; page; _ } -> (
+      (* upgrade grant to a crashed reader: its read copy died with it;
+         fall back to the pager image when one exists — otherwise the
+         page reverts to fresh (the documented loss window) *)
+      match inst_opt obj with
+      | None -> ()
+      | Some i ->
+        Stats.Counters.incr t.counters "crash.lost_grants";
+        set_static_hint t i ~page
+          ~hint:
+            (if Store_pager.has (pager_of i page) ~obj ~page then S_paged
+             else S_fresh);
+        purge_granted t i ~page)
+    | A_invalidate { obj; page; from; _ } ->
+      (* a crashed reader holds no copy: acknowledge on its behalf *)
+      deliver_if_alive t from (A_inval_ack { obj; page })
+    | A_reader_query { obj; page; from; _ } ->
+      deliver_if_alive t from
+        (A_reader_answer { obj; page; from = dst; accepted = false })
+    | A_transfer_offer { obj; page; from } ->
+      deliver_if_alive t from
+        (A_transfer_answer { obj; page; from = dst; accepted = false })
+    | A_transfer_answer { accepted; _ } ->
+      (* the offering owner died; the acceptor's reservation would leak *)
+      if accepted && not (Network.is_down t.net src) then
+        Sts.release_buffer t.sts ~node:src
+    | A_transfer_page { obj; page; contents; _ } -> (
+      match inst_opt obj with
+      | None -> ()
+      | Some i ->
+        Stats.Counters.incr t.counters "crash.rescued_pages";
+        Store_pager.remember (pager_of i page) ~obj ~page ~contents;
+        set_static_hint t i ~page ~hint:S_paged;
+        purge_granted t i ~page)
+    | A_pager_offer { obj; page; from } ->
+      (* the pager's node died; accept on its behalf — the contents
+         then dead-letter into the store, which survives the crash *)
+      deliver_if_alive t from (A_pager_grant { obj; page })
+    | A_pager_grant _ ->
+      (* the offering owner died; the pager-side reservation would leak *)
+      if not (Network.is_down t.net src) then
+        Sts.release_buffer t.sts ~node:src
+    | A_to_pager { obj; page; contents } -> (
+      match inst_opt obj with
+      | None -> ()
+      | Some i -> (
+        match contents with
+        | Some c ->
+          Stats.Counters.incr t.counters "crash.rescued_pages";
+          Store_pager.remember (pager_of i page) ~obj ~page ~contents:c
+        | None ->
+          if not (Store_pager.has (pager_of i page) ~obj ~page) then
+            set_static_hint t i ~page ~hint:S_fresh))
+    | A_copy_made { obj; from; _ } | A_copy_shared { obj; from; _ } ->
+      deliver_if_alive t from (A_copy_ack { obj })
+    | A_push_lock { obj; page; from } ->
+      deliver_if_alive t from
+        (A_push_lock_done { obj; page; from = dst; needs_contents = false })
+    | A_push_contents { obj; page; from; _ } ->
+      deliver_if_alive t from (A_push_ack { home = obj; page })
+    | A_push_prepare { home; page; from; _ } ->
+      deliver_if_alive t from (A_push_ack { home; page })
+    | A_push_ready _ ->
+      (* the pushing owner died; the copy peer's reservation would leak *)
+      if not (Network.is_down t.net src) then
+        Sts.release_buffer t.sts ~node:src
+    | A_push_to_copy { copy; home; page; contents; from } ->
+      (match inst_opt copy with
+      | None -> ()
+      | Some i ->
+        Stats.Counters.incr t.counters "crash.rescued_pages";
+        Store_pager.remember (pager_of i page) ~obj:copy ~page ~contents;
+        set_static_hint t i ~page ~hint:S_paged);
+      deliver_if_alive t from (A_push_ack { home; page })
+    | A_inval_ack _ | A_owner_update _ | A_reader_answer _
+    | A_push_lock_done _ | A_push_ack _ | A_scan_answer _ | A_retry _
+    | A_copy_ack _ ->
+      (* the state these answer died with the node *)
+      ()
 
 (* ------------------------------------------------------------------ *)
 (* Construction / registration                                        *)
@@ -1523,6 +1944,7 @@ let create ~net ~(config : config) ~vms ~words_per_page ?metrics ?trace () =
   let t =
     {
       sts;
+      net;
       vms;
       wpp = words_per_page;
       config;
@@ -1531,9 +1953,14 @@ let create ~net ~(config : config) ~vms ~words_per_page ?metrics ?trace () =
       metrics;
       handles = make_handles metrics;
       trace;
+      recovering = Hashtbl.create 16;
     }
   in
   Array.iteri (fun node _ -> Sts.register sts ~node (fun msg -> handle t node msg)) vms;
+  Sts.set_on_dead_letter sts
+    (Some
+       (fun ~src ~dst ~src_dead ~dst_dead msg ->
+         salvage t ~src ~dst ~src_dead ~dst_dead msg));
   t
 
 let make_inst t ~node ~obj ~size_pages ~sharers ~pagers ~fwd ~shadow =
@@ -1556,7 +1983,9 @@ let make_inst t ~node ~obj ~size_pages ~sharers ~pagers ~fwd ~shadow =
     i_push_ops = Hashtbl.create 8;
     i_answers = Hashtbl.create 8;
     i_outstanding = Hashtbl.create 8;
+    i_next_gen = 0;
     i_waiting_inbound = Hashtbl.create 8;
+    i_owed_acks = [];
     i_granted = Hashtbl.create 8;
     i_copy_acks = 0;
     i_copy_k = ignore;
@@ -1584,7 +2013,9 @@ let register_object t ~obj ~size_pages ~sharers ~pagers ?forwarding ?shadow ()
   List.iter
     (fun node ->
       let request ~page ~desired ~upgrade =
-        let fire () =
+        if Network.is_down t.net node then ()
+        else
+        let fire gen =
           let req =
             {
               r_origin = node;
@@ -1597,6 +2028,8 @@ let register_object t ~obj ~size_pages ~sharers ~pagers ?forwarding ?shadow ()
               r_hops = 0;
               r_ring = -1;
               r_kind = K_fault;
+              r_origin_inc = Network.incarnation t.net node;
+              r_gen = gen;
             }
           in
           route_request t node req
@@ -1620,10 +2053,14 @@ let register_object t ~obj ~size_pages ~sharers ~pagers ?forwarding ?shadow ()
               r_hops = 0;
               r_ring = -1;
               r_kind = K_fault;
+              r_origin_inc = Network.incarnation t.net node;
+              r_gen = -1;
             }
           in
           let rec acquire () =
-            if Sts.reserve_buffer t.sts ~node then owner_handle t node i ps req
+            if Network.is_down t.net node then ()
+            else if Sts.reserve_buffer t.sts ~node then
+              owner_handle t node i ps req
             else Engine.schedule (Vm.engine t.vms.(node)) ~delay:0.5 acquire
           in
           acquire ()
@@ -1638,10 +2075,13 @@ let register_object t ~obj ~size_pages ~sharers ~pagers ?forwarding ?shadow ()
           else begin
             (* a page answer needs a preallocated receive buffer here;
                requests wait when the pool is exhausted (flow control) *)
+            let gen = i.i_next_gen in
+            i.i_next_gen <- gen + 1;
             Hashtbl.replace i.i_outstanding page
-              (Engine.now (Vm.engine t.vms.(node)));
+              (Engine.now (Vm.engine t.vms.(node)), gen);
             let rec acquire () =
-              if Sts.reserve_buffer t.sts ~node then fire ()
+              if Network.is_down t.net node then ()
+              else if Sts.reserve_buffer t.sts ~node then fire gen
               else Engine.schedule (Vm.engine t.vms.(node)) ~delay:0.5 acquire
             in
             acquire ()
@@ -1655,14 +2095,153 @@ let register_object t ~obj ~size_pages ~sharers ~pagers ?forwarding ?shadow ()
             (fun ~page ~desired -> request ~page ~desired ~upgrade:true);
           m_data_return =
             (fun ~page ~contents ~dirty ->
-              let i = inst t node obj in
-              match Hashtbl.find_opt i.i_pages page with
-              | None -> () (* not the owner: simply discard (step 1) *)
-              | Some ps -> handle_eviction t node i ps ~page ~contents ~dirty);
+              if Network.is_down t.net node then ()
+              else
+                let i = inst t node obj in
+                match Hashtbl.find_opt i.i_pages page with
+                | None -> () (* not the owner: simply discard (step 1) *)
+                | Some ps -> handle_eviction t node i ps ~page ~contents ~dirty);
         }
       in
       Vm.set_manager t.vms.(node) obj (Some manager))
     sharers
+
+(* ------------------------------------------------------------------ *)
+(* Crash entry points (phases 2-4 of docs/AVAILABILITY.md)            *)
+(* ------------------------------------------------------------------ *)
+
+(* Give a page the crashed node owned a new owner among its surviving
+   readers; with no surviving in-memory copy, fall back to the pager
+   image — or, when the pager never saw the page, back to fresh (the
+   documented data-loss case, counted in [crash.lost_pages]). *)
+let reelect t ~victim i ~page ~ps =
+  let obj = i.i_obj in
+  let candidates =
+    List.filter
+      (fun r ->
+        r <> victim
+        && (not (Network.is_down t.net r))
+        && Vm.is_resident t.vms.(r) ~obj ~page)
+      ps.p_readers
+  in
+  match candidates with
+  | owner :: rest ->
+    Stats.Counters.incr t.counters "crash.reelections";
+    let oi = inst t owner obj in
+    let nps = new_pstate ~version:ps.p_version in
+    nps.p_readers <- rest;
+    Hashtbl.replace oi.i_pages page nps;
+    Hint_cache.remove oi.i_dyn ~page;
+    (* the survivor's copy may now be the only one anywhere: make sure
+       an eviction writes it back instead of discarding it as clean *)
+    Vm.set_frame_dirty t.vms.(owner) ~obj ~page;
+    Trace.emit t.trace ~time:(now t) ~node:owner
+      (Trace.Ownership { obj; page; owner });
+    set_static_hint t oi ~page ~hint:(S_at owner);
+    purge_granted t i ~page
+  | [] ->
+    let hint =
+      if Store_pager.has (pager_of i page) ~obj ~page then S_paged
+      else begin
+        Stats.Counters.incr t.counters "crash.lost_pages";
+        S_fresh
+      end
+    in
+    set_static_hint t i ~page ~hint;
+    purge_granted t i ~page
+
+let crash_node t ~node =
+  Sts.crash_node t.sts ~node;
+  (* snapshot the victim's protocol instances *)
+  let victims =
+    Hashtbl.fold
+      (fun (n, obj) i acc -> if n = node then (obj, i) :: acc else acc)
+      t.insts []
+  in
+  (* requests other nodes had parked at the victim — waiting on its
+     in-flight fault, queued at its owner machine, or actively being
+     served — restart from their origins; owed answers are synthesized
+     so no survivor waits on the dead node *)
+  let parked = ref [] and owed = ref [] in
+  let park req = parked := req :: !parked in
+  List.iter
+    (fun (_obj, i) ->
+      Hashtbl.iter (fun _page q -> Queue.iter park q) i.i_waiting_inbound;
+      Hashtbl.clear i.i_waiting_inbound;
+      Hashtbl.iter
+        (fun _page ps ->
+          (match ps.p_active with Some req -> park req | None -> ());
+          Queue.iter park ps.p_queue;
+          Queue.clear ps.p_queue;
+          Queue.iter park ps.p_retries;
+          Queue.clear ps.p_retries)
+        i.i_pages;
+      owed := i.i_owed_acks @ !owed;
+      i.i_owed_acks <- [])
+    victims;
+  (* the victim restarts with empty protocol state.  Its static-manager
+     role restarts conservative: every page marked ever-owned, so a
+     lookup sweeps the ring instead of trusting the zeroed table — a
+     wrongly-granted "fresh" zero page would fork the object's
+     contents.  Version and copy configuration carry over (durable
+     object-registration idealization). *)
+  List.iter
+    (fun (obj, i) ->
+      let fresh =
+        make_inst t ~node ~obj ~size_pages:i.i_size
+          ~sharers:(Array.to_list i.i_sharers)
+          ~pagers:i.i_pagers ~fwd:i.i_fwd ~shadow:i.i_shadow
+      in
+      Bytes.fill fresh.i_seen 0 i.i_size '\001';
+      fresh.i_version <- i.i_version;
+      fresh.i_copies <- i.i_copies;
+      Hashtbl.replace t.insts (node, obj) fresh)
+    victims;
+  (* purge the victim from every survivor's reader lists and grant
+     tables: hints are re-verified at use, but reader lists drive
+     invalidation rounds that must not wait on a dead node *)
+  Hashtbl.iter
+    (fun (n, _obj) i ->
+      if n <> node then begin
+        Hashtbl.iter
+          (fun _page ps ->
+            ps.p_readers <- List.filter (fun r -> r <> node) ps.p_readers)
+          i.i_pages;
+        let stale =
+          Hashtbl.fold
+            (fun page holder acc -> if holder = node then page :: acc else acc)
+            i.i_granted []
+        in
+        List.iter (fun page -> Hashtbl.remove i.i_granted page) stale
+      end)
+    t.insts;
+  (* re-elect an owner for every page the victim owned *)
+  List.iter
+    (fun (_obj, i) ->
+      Hashtbl.iter (fun page ps -> reelect t ~victim:node i ~page ~ps) i.i_pages)
+    victims;
+  (* restart parked requests and deliver owed answers as fresh events *)
+  let eng = Network.engine t.net in
+  List.iter
+    (fun req ->
+      Engine.schedule eng ~delay:0. (fun () -> redrive_fault t req))
+    !parked;
+  List.iter
+    (fun (dst, msg) ->
+      Engine.schedule eng ~delay:0. (fun () -> deliver_if_alive t dst msg))
+    !owed
+
+let rejoin_node t ~node =
+  (* mark the node's surviving kernel faults as recovering, then
+     restart them: each re-faults through a fresh manager request *)
+  List.iter
+    (fun (obj, page) ->
+      if
+        Hashtbl.mem t.insts (node, obj)
+        && not (Hashtbl.mem t.recovering (node, obj, page))
+      then Hashtbl.replace t.recovering (node, obj, page) (now t))
+    (Vm.pending_pages t.vms.(node));
+  Vm.redrive_pending t.vms.(node)
 
 let object_copied t ~src ~peer ~shared k =
   let i = inst t peer src in

@@ -137,6 +137,34 @@ val hold_page : t -> node:int -> obj:Asvm_machvm.Ids.obj_id -> page:int -> bool
 val release_page :
   t -> node:int -> obj:Asvm_machvm.Ids.obj_id -> page:int -> unit
 
+(** {1 Crash and rejoin (see [docs/AVAILABILITY.md])} *)
+
+(** Recover the shared protocol state from a whole-node crash.  The
+    caller must already have marked the node down in the mesh registry
+    ({!Asvm_mesh.Network.set_down}) and reset its kernel
+    ({!Asvm_machvm.Vm.crash_reset}) — the cluster layer does both.
+
+    In order: tears down the victim's transport state (credit pool,
+    retransmission timers), replaces its protocol instances with empty
+    ones whose static-manager table is conservatively marked ever-owned,
+    purges the victim from survivors' reader lists and pager grant
+    tables, re-elects an owner for every victim-owned page from its
+    surviving readers (falling back to the pager image, or fresh), and
+    re-drives requests that were parked at — or actively served by —
+    the victim from their surviving origins.  Messages in flight around
+    the crash arrive later at the transport dead-letter hook and are
+    salvaged case by case.  Progress counters: [crash.reelections],
+    [crash.redrives], [crash.salvaged], [crash.rescued_pages],
+    [crash.stale_requests], [crash.stale_replies], and the documented
+    loss cases [crash.lost_grants] / [crash.lost_pages]. *)
+val crash_node : t -> node:int -> unit
+
+(** Re-admit a node after {!crash_node}, once the mesh registry marks it
+    up again.  The node returns with empty caches and no owned pages;
+    kernel faults that survived the crash re-fault from scratch, each
+    sampled into the [asvm.recovery_ms] histogram when it completes. *)
+val rejoin_node : t -> node:int -> unit
+
 (** {1 Introspection} *)
 
 val sts_messages : t -> int

@@ -201,6 +201,7 @@ let evict_one t =
   in
   loop attempts
 
+
 let ensure_capacity t =
   while t.resident_total > t.config.memory_pages && evict_one t do
     ()
@@ -808,6 +809,50 @@ let pull_request t ~obj ~page ~reply =
           | None ->
             if o.temporary then answer Emmi.Pull_zero_fill
             else answer (Emmi.Pull_ask_shadow o.id)))
+
+(* ------------------------------------------------------------------ *)
+(* Crash and rejoin                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let crash_reset t =
+  (* Volatile state dies with the node: every resident frame, every
+     hardware translation, the eviction queue, and the record of pages
+     parked in the default pager's swap.  What survives is the address
+     space structure (tasks, their address maps, the object table) —
+     the restarted-application idealization: the same program resumes
+     with cold memory.  Fault continuations parked in [pending] also
+     survive, so [redrive_pending] can restart them at rejoin. *)
+  Hashtbl.iter
+    (fun _id (o : Vm_object.t) ->
+      List.iter (fun page -> Vm_object.remove o ~page) (Vm_object.resident_pages o))
+    t.objects;
+  Hashtbl.reset t.reverse;
+  Hashtbl.reset t.swapped;
+  Queue.clear t.fifo;
+  t.resident_total <- 0;
+  Hashtbl.iter
+    (fun _id tr ->
+      List.iter (fun vpage -> Pmap.remove tr.pmap ~vpage) (Pmap.vpages tr.pmap))
+    t.tasks
+
+let redrive_pending t =
+  (* Restart every fault that was waiting on a manager reply when the
+     node crashed.  The pending entry is removed *before* its waiters
+     run: each waiter re-faults from scratch, and [park] then creates a
+     fresh entry (and a fresh manager request) rather than appending to
+     the stale one. *)
+  let entries = Hashtbl.fold (fun key p acc -> (key, p) :: acc) t.pending [] in
+  List.iter
+    (fun (key, p) ->
+      Hashtbl.remove t.pending key;
+      List.iter (fun k -> Engine.schedule t.engine ~delay:0. k) p.waiters)
+    entries
+
+let pending_faults t = Hashtbl.length t.pending
+
+let pending_pages t =
+  Hashtbl.fold (fun key _ acc -> key :: acc) t.pending []
+  |> List.sort_uniq compare
 
 let faults t = t.faults
 let local_faults t = t.local_faults

@@ -178,6 +178,30 @@ val unwire : t -> obj:Ids.obj_id -> page:int -> unit
     the pageout daemon). Returns [false] when nothing can be evicted. *)
 val evict_one : t -> bool
 
+(** {1 Crash and rejoin (see [docs/AVAILABILITY.md])} *)
+
+(** Model a whole-node crash: drop every resident frame, hardware
+    translation, eviction-queue entry and swap record.  Address-space
+    structure (tasks, address maps, object representations) survives —
+    the restarted-application idealization — as do fault continuations
+    parked on manager replies, which {!redrive_pending} restarts at
+    rejoin.  The caller (the cluster layer) is responsible for the
+    transport and manager side of the crash. *)
+val crash_reset : t -> unit
+
+(** Restart every fault that was parked on a manager reply: each waiter
+    re-faults from scratch through a fresh manager request.  Called at
+    rejoin, after the transports accept the node again. *)
+val redrive_pending : t -> unit
+
+(** Faults currently parked on a manager reply (for tests). *)
+val pending_faults : t -> int
+
+(** The (object, page) keys of those parked faults, sorted — the
+    recovery layer marks them as recovering so rejoin latency can be
+    measured per fault. *)
+val pending_pages : t -> (Ids.obj_id * int) list
+
 (** {1 Statistics} *)
 
 val faults : t -> int

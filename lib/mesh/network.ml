@@ -39,6 +39,14 @@ type t = {
   mutable bytes_sent : int;
   mutable interposer : interposer option;
   handles : handles option;
+  (* Liveness registry (crash/rejoin, see lib/chaos).  The network layer
+     only records which nodes are down and how many times each has been
+     (re)started; the transports decide what a dead endpoint means for
+     their messages.  [incarnation] bumps on every crash so a transport
+     can detect "the node I sent to is not the node that would receive
+     this" even across a rejoin. *)
+  down : bool array;
+  incarnation : int array;
 }
 
 let create ?metrics engine config topology =
@@ -52,6 +60,8 @@ let create ?metrics engine config topology =
     messages = 0;
     bytes_sent = 0;
     interposer = None;
+    down = Array.make n false;
+    incarnation = Array.make n 0;
     handles =
       Option.map
         (fun m ->
@@ -66,6 +76,16 @@ let create ?metrics engine config topology =
 let topology t = t.topology
 let engine t = t.engine
 let set_interposer t f = t.interposer <- f
+
+let set_down t node =
+  if not t.down.(node) then begin
+    t.down.(node) <- true;
+    t.incarnation.(node) <- t.incarnation.(node) + 1
+  end
+
+let set_up t node = t.down.(node) <- false
+let is_down t node = t.down.(node)
+let incarnation t node = t.incarnation.(node)
 
 let wire_latency t ~src ~dst ~bytes =
   if src = dst then 0.

@@ -64,6 +64,31 @@ val create :
 val topology : t -> Topology.t
 val engine : t -> Asvm_simcore.Engine.t
 
+(** {1 Liveness registry}
+
+    Whole-node crash support (see [lib/chaos] and
+    [docs/AVAILABILITY.md]).  The network itself never drops messages
+    for a dead node — deliveries already committed to the event queue
+    would bypass any send-time check.  Instead the registry records
+    which nodes are down, and the transports (STS, NORMA-IPC) consult
+    it at {e delivery} time, comparing the receiver's incarnation
+    against the one captured when the message was transmitted. *)
+
+(** Mark [node] dead.  Idempotent; the first call of a down/up cycle
+    bumps the node's incarnation, so messages sent to (or handlers
+    armed for) the previous incarnation can be recognized as stale
+    even after the node rejoins. *)
+val set_down : t -> int -> unit
+
+(** Mark [node] live again (a rejoin).  Does not change the
+    incarnation — that happened at {!set_down}. *)
+val set_up : t -> int -> unit
+
+val is_down : t -> int -> bool
+
+(** How many times [node] has crashed so far (0 = never). *)
+val incarnation : t -> int -> int
+
 (** [send t ~src ~dst ~bytes ~sw_send ~sw_recv k] models one message.
     [src = dst] is allowed (loopback skips the wire but still pays the
     software path).

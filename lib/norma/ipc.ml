@@ -25,15 +25,31 @@ type 'msg port = {
   handler : 'msg port -> 'msg -> unit;
 }
 
+type 'msg dead_letter =
+  src:int -> dst:int -> src_dead:bool -> dst_dead:bool -> 'msg -> unit
+
 type 'msg t = {
   net : Network.t;
   config : config;
   mutable next_port : int;
   mutable messages : int;
   mutable page_messages : int;
+  mutable on_dead_letter : 'msg dead_letter option;
+  mutable n_dead_letters : int;
 }
 
-let create net config = { net; config; next_port = 0; messages = 0; page_messages = 0 }
+let create net config =
+  {
+    net;
+    config;
+    next_port = 0;
+    messages = 0;
+    page_messages = 0;
+    on_dead_letter = None;
+    n_dead_letters = 0;
+  }
+
+let set_on_dead_letter t f = t.on_dead_letter <- f
 
 let port t ~node ~handler =
   let id = t.next_port in
@@ -43,17 +59,48 @@ let port t ~node ~handler =
 let port_node p = p.node
 let port_id p = p.id
 
+(* Same liveness discipline as STS (see lib/sts): endpoints' crash
+   incarnations are captured at send time and re-checked when the
+   delivery continuation actually runs, so messages queued behind a
+   busy station are still caught.  Undeliverable messages go to the
+   dead-letter hook as a fresh engine event. *)
+let endpoint_dead t node inc =
+  Network.is_down t.net node || Network.incarnation t.net node <> inc
+
+let dead_letter t ~src ~dst ~src_dead ~dst_dead msg =
+  t.n_dead_letters <- t.n_dead_letters + 1;
+  match t.on_dead_letter with
+  | None -> ()
+  | Some f ->
+    Asvm_simcore.Engine.schedule (Network.engine t.net) ~delay:0. (fun () ->
+        f ~src ~dst ~src_dead ~dst_dead msg)
+
 let send t ~src ~dst ?(carries_page = false) ?(rights = 1) msg =
-  t.messages <- t.messages + 1;
-  if carries_page then t.page_messages <- t.page_messages + 1;
-  let c = t.config in
-  let extra = if carries_page then c.page_extra_ms else 0. in
-  let rights_cost = float_of_int rights *. c.per_right_ms in
-  let bytes = c.header_bytes + if carries_page then page_bytes else 0 in
-  Network.send t.net ~src ~dst:dst.node ~bytes
-    ~sw_send:(c.sw_send_ms +. rights_cost +. extra)
-    ~sw_recv:(c.sw_recv_ms +. rights_cost +. extra)
-    (fun () -> dst.handler dst msg)
+  if Network.is_down t.net src then ()
+  else begin
+    t.messages <- t.messages + 1;
+    if carries_page then t.page_messages <- t.page_messages + 1;
+    if Network.is_down t.net dst.node then
+      dead_letter t ~src ~dst:dst.node ~src_dead:false ~dst_dead:true msg
+    else begin
+      let c = t.config in
+      let extra = if carries_page then c.page_extra_ms else 0. in
+      let rights_cost = float_of_int rights *. c.per_right_ms in
+      let bytes = c.header_bytes + if carries_page then page_bytes else 0 in
+      let src_inc = Network.incarnation t.net src
+      and dst_inc = Network.incarnation t.net dst.node in
+      Network.send t.net ~src ~dst:dst.node ~bytes
+        ~sw_send:(c.sw_send_ms +. rights_cost +. extra)
+        ~sw_recv:(c.sw_recv_ms +. rights_cost +. extra)
+        (fun () ->
+          let src_dead = endpoint_dead t src src_inc
+          and dst_dead = endpoint_dead t dst.node dst_inc in
+          if src_dead || dst_dead then
+            dead_letter t ~src ~dst:dst.node ~src_dead ~dst_dead msg
+          else dst.handler dst msg)
+    end
+  end
 
 let messages t = t.messages
 let page_messages t = t.page_messages
+let dead_letters t = t.n_dead_letters

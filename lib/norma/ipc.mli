@@ -38,6 +38,23 @@ val port_id : 'msg port -> int
 val send :
   'msg t -> src:int -> dst:'msg port -> ?carries_page:bool -> ?rights:int -> 'msg -> unit
 
+(** {1 Crash support (see [docs/AVAILABILITY.md])}
+
+    Same discipline as the STS transport: the mesh liveness registry is
+    consulted at send time and again when the delivery continuation
+    runs.  A dead sender's messages vanish; messages to (or in flight
+    around) a crashed endpoint divert to the dead-letter hook. *)
+
+(** [src_dead] / [dst_dead] say which endpoint's crash killed the
+    message.  Runs as a fresh engine event. *)
+type 'msg dead_letter =
+  src:int -> dst:int -> src_dead:bool -> dst_dead:bool -> 'msg -> unit
+
+val set_on_dead_letter : 'msg t -> 'msg dead_letter option -> unit
+
+(** Undeliverable messages diverted to the dead-letter hook so far. *)
+val dead_letters : 'msg t -> int
+
 (** Messages sent so far (for protocol-economy comparisons). *)
 val messages : 'msg t -> int
 

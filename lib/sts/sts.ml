@@ -83,13 +83,18 @@ type rel_handles = {
   h_dups : Metrics.Counter.t;
 }
 
-(* One logical message awaiting acknowledgment at its sender. *)
+(* One logical message awaiting acknowledgment at its sender.
+   [p_src_inc] / [p_dst_inc] are the endpoints' crash incarnations at
+   send time: a delivery whose endpoint has since crashed is stale even
+   if the node has already rejoined. *)
 type 'msg pending = {
   p_seq : int;
   p_src : int;
   p_dst : int;
   p_page : bool;
   p_payload : 'msg;
+  p_src_inc : int;
+  p_dst_inc : int;
   mutable p_acked : bool;
   mutable p_retransmits : int;
 }
@@ -104,6 +109,9 @@ type 'msg reliable = {
   mutable n_dups : int;
 }
 
+type 'msg dead_letter =
+  src:int -> dst:int -> src_dead:bool -> dst_dead:bool -> 'msg -> unit
+
 type 'msg t = {
   net : Network.t;
   config : config;
@@ -115,6 +123,8 @@ type 'msg t = {
   reliable : 'msg reliable option;
   handles : handles option;
   trace : Trace.t option;
+  mutable on_dead_letter : 'msg dead_letter option;
+  mutable n_dead_letters : int;
 }
 
 let create ?metrics ?trace net config =
@@ -164,9 +174,12 @@ let create ?metrics ?trace net config =
           })
         metrics;
     trace;
+    on_dead_letter = None;
+    n_dead_letters = 0;
   }
 
 let register t ~node handler = t.handlers.(node) <- Some handler
+let set_on_dead_letter t f = t.on_dead_letter <- f
 
 let debug = Sys.getenv_opt "STS_DEBUG" <> None
 
@@ -201,6 +214,29 @@ let now t = Engine.now (engine t)
 
 let note t ~node ~category detail =
   Trace.emit t.trace ~time:(now t) ~node (Trace.Note { category; detail })
+
+(* ------------------------------------------------------------------ *)
+(* Liveness                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* An endpoint is dead for a given message when it is currently down or
+   has crashed since the message was sent (incarnation mismatch). *)
+let endpoint_dead t node inc =
+  Network.is_down t.net node || Network.incarnation t.net node <> inc
+
+(* Hand a message that can no longer be delivered to the protocol's
+   salvage hook.  Always fired as a fresh engine event: the send path
+   may detect a dead destination while the caller is mid-operation, and
+   the salvage hook must not reenter protocol state being updated. *)
+let dead_letter t ~src ~dst ~src_dead ~dst_dead msg =
+  t.n_dead_letters <- t.n_dead_letters + 1;
+  note t ~node:src ~category:"sts.dead_letter"
+    (Printf.sprintf "dst=%d src_dead=%b dst_dead=%b" dst src_dead dst_dead);
+  match t.on_dead_letter with
+  | None -> ()
+  | Some f ->
+    Engine.schedule (engine t) ~delay:0. (fun () ->
+        f ~src ~dst ~src_dead ~dst_dead msg)
 
 (* ------------------------------------------------------------------ *)
 (* Physical transmission                                               *)
@@ -253,6 +289,21 @@ let on_ack r key =
    hand fresh messages to the registered handler. *)
 let deliver_reliable t r (p : 'msg pending) =
   let key = (p.p_src, p.p_dst, p.p_seq) in
+  let src_dead = endpoint_dead t p.p_src p.p_src_inc
+  and dst_dead = endpoint_dead t p.p_dst p.p_dst_inc in
+  if src_dead || dst_dead then begin
+    (* The delivered table doubles as a dead-letter dedup: only the
+       first in-flight copy of the logical message is salvaged.  The
+       quiet [on_ack] kills the sender's retransmission timer (if the
+       crash purge has not already); the dead letter itself is the
+       failure notification. *)
+    if not (Hashtbl.mem r.delivered key) then begin
+      Hashtbl.replace r.delivered key ();
+      on_ack r key;
+      dead_letter t ~src:p.p_src ~dst:p.p_dst ~src_dead ~dst_dead p.p_payload
+    end
+  end
+  else begin
   let fresh = not (Hashtbl.mem r.delivered key) in
   if fresh then Hashtbl.replace r.delivered key ()
   else begin
@@ -271,6 +322,7 @@ let deliver_reliable t r (p : 'msg pending) =
       raise
         (Protocol_violation
            { node = p.p_dst; what = "handler unregistered mid-flight" })
+  end
 
 let transmit_reliable t r (p : 'msg pending) =
   transmit t ~src:p.p_src ~dst:p.p_dst ~carries_page:p.p_page (fun () ->
@@ -314,57 +366,123 @@ let rec arm_timer t r (p : 'msg pending) ~timeout =
 (* ------------------------------------------------------------------ *)
 
 let send t ~src ~dst ?(carries_page = false) msg =
-  let handler =
-    match t.handlers.(dst) with
-    | Some h -> h
-    | None ->
-      raise
-        (Protocol_violation
-           { node = dst; what = "send: no handler registered at destination" })
-  in
-  if carries_page && t.reserved.(dst) <= 0 then
-    raise
-      (Protocol_violation
-         {
-           node = dst;
-           what =
-             Printf.sprintf
-               "send: page sent without a reserved receive buffer (src=%d)" src;
-         });
-  t.messages <- t.messages + 1;
-  if carries_page then t.page_messages <- t.page_messages + 1;
-  (match t.handles with
-  | None -> ()
-  | Some h ->
-    Metrics.Counter.incr (if carries_page then h.h_msgs_page else h.h_msgs_plain);
-    Metrics.Counter.incr
-      ~by:(t.config.header_bytes + if carries_page then page_bytes else 0)
-      h.h_bytes);
+  (* A dead node sends nothing: protocol closures scheduled before the
+     crash may still run, but their messages die silently here. *)
+  if Network.is_down t.net src then ()
+  else begin
+    let handler =
+      match t.handlers.(dst) with
+      | Some h -> h
+      | None ->
+        raise
+          (Protocol_violation
+             { node = dst; what = "send: no handler registered at destination" })
+    in
+    if Network.is_down t.net dst then
+      (* The destination is known dead at send time: the message is
+         counted (the sender honestly pays for it) but goes straight to
+         the salvage hook.  The reserved-buffer check is skipped — the
+         dead node's credit pool was zeroed at the crash. *)
+      begin
+        t.messages <- t.messages + 1;
+        if carries_page then t.page_messages <- t.page_messages + 1;
+        (match t.handles with
+        | None -> ()
+        | Some h ->
+          Metrics.Counter.incr
+            (if carries_page then h.h_msgs_page else h.h_msgs_plain);
+          Metrics.Counter.incr
+            ~by:(t.config.header_bytes + if carries_page then page_bytes else 0)
+            h.h_bytes);
+        dead_letter t ~src ~dst ~src_dead:false ~dst_dead:true msg
+      end
+    else begin
+      if carries_page && t.reserved.(dst) <= 0 then
+        raise
+          (Protocol_violation
+             {
+               node = dst;
+               what =
+                 Printf.sprintf
+                   "send: page sent without a reserved receive buffer (src=%d)"
+                   src;
+             });
+      t.messages <- t.messages + 1;
+      if carries_page then t.page_messages <- t.page_messages + 1;
+      (match t.handles with
+      | None -> ()
+      | Some h ->
+        Metrics.Counter.incr
+          (if carries_page then h.h_msgs_page else h.h_msgs_plain);
+        Metrics.Counter.incr
+          ~by:(t.config.header_bytes + if carries_page then page_bytes else 0)
+          h.h_bytes);
+      match t.reliable with
+      | None ->
+        let src_inc = Network.incarnation t.net src
+        and dst_inc = Network.incarnation t.net dst in
+        transmit t ~src ~dst ~carries_page (fun () ->
+            let src_dead = endpoint_dead t src src_inc
+            and dst_dead = endpoint_dead t dst dst_inc in
+            if src_dead || dst_dead then
+              dead_letter t ~src ~dst ~src_dead ~dst_dead msg
+            else handler msg)
+      | Some r ->
+        let link = (src, dst) in
+        let seq =
+          match Hashtbl.find_opt r.next_seq link with Some s -> s | None -> 0
+        in
+        Hashtbl.replace r.next_seq link (seq + 1);
+        let p =
+          {
+            p_seq = seq;
+            p_src = src;
+            p_dst = dst;
+            p_page = carries_page;
+            p_payload = msg;
+            p_src_inc = Network.incarnation t.net src;
+            p_dst_inc = Network.incarnation t.net dst;
+            p_acked = false;
+            p_retransmits = 0;
+          }
+        in
+        Hashtbl.replace r.pending (src, dst, seq) p;
+        transmit_reliable t r p;
+        arm_timer t r p ~timeout:r.rel.ack_timeout_ms
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Crash teardown                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let crash_node t ~node =
+  (* The node's preallocated receive buffers die with it; compensate the
+     cluster-wide gauge so live nodes still balance to zero. *)
+  buffers_gauge t (-.float_of_int t.reserved.(node));
+  t.reserved.(node) <- 0;
   match t.reliable with
-  | None -> transmit t ~src ~dst ~carries_page (fun () -> handler msg)
+  | None -> ()
   | Some r ->
-    let link = (src, dst) in
-    let seq =
-      match Hashtbl.find_opt r.next_seq link with Some s -> s | None -> 0
+    (* Quietly retire every unacknowledged message the node sent or was
+       to receive: marking it acked disarms the retransmission timer
+       (see [arm_timer]'s guard) without a protocol violation.  In-flight
+       copies are handled by the delivery-time liveness gate. *)
+    let stale =
+      Hashtbl.fold
+        (fun key p acc ->
+          if p.p_src = node || p.p_dst = node then (key, p) :: acc else acc)
+        r.pending []
     in
-    Hashtbl.replace r.next_seq link (seq + 1);
-    let p =
-      {
-        p_seq = seq;
-        p_src = src;
-        p_dst = dst;
-        p_page = carries_page;
-        p_payload = msg;
-        p_acked = false;
-        p_retransmits = 0;
-      }
-    in
-    Hashtbl.replace r.pending (src, dst, seq) p;
-    transmit_reliable t r p;
-    arm_timer t r p ~timeout:r.rel.ack_timeout_ms
+    List.iter
+      (fun (key, p) ->
+        p.p_acked <- true;
+        Hashtbl.remove r.pending key)
+      stale
 
 let messages t = t.messages
 let page_messages t = t.page_messages
+let dead_letters t = t.n_dead_letters
 
 let retransmits t =
   match t.reliable with None -> 0 | Some r -> r.n_retransmits

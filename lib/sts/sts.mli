@@ -121,6 +121,36 @@ val release_buffer : 'msg t -> node:int -> unit
 (** Currently reserved buffers at [node] (for invariant checks). *)
 val buffers_reserved : 'msg t -> node:int -> int
 
+(** {1 Crash and rejoin (see [docs/AVAILABILITY.md])}
+
+    The transport consults the mesh's liveness registry
+    ({!Asvm_mesh.Network.is_down} / [incarnation]) on both the send and
+    the delivery path.  A dead sender's messages vanish silently; a
+    message whose endpoint died while it was in flight (or is known
+    dead at send time) is diverted to the {e dead-letter} hook instead
+    of being delivered, exactly once per logical message when
+    reliability is on. *)
+
+(** Salvage hook for undeliverable messages.  [src_dead] / [dst_dead]
+    say which endpoint's crash killed the message (both can hold).  The
+    hook runs as a fresh engine event, never reentering the sender's
+    call stack. *)
+type 'msg dead_letter =
+  src:int -> dst:int -> src_dead:bool -> dst_dead:bool -> 'msg -> unit
+
+val set_on_dead_letter : 'msg t -> 'msg dead_letter option -> unit
+
+(** Tear down the node's per-transport state at a crash: zero its
+    receive-buffer credit pool (compensating the
+    [sts.buffers_reserved] gauge) and quietly disarm every
+    retransmission timer for messages it sent or was to receive.  The
+    caller must already have marked the node down in the mesh
+    registry. *)
+val crash_node : 'msg t -> node:int -> unit
+
+(** Undeliverable messages diverted to the dead-letter hook so far. *)
+val dead_letters : 'msg t -> int
+
 (** Logical messages sent (excluding acks and retransmissions). *)
 val messages : 'msg t -> int
 

@@ -12,9 +12,11 @@ type result = {
   metrics : Asvm_obs.Metrics.snapshot;
 }
 
-let measure ~mm ~chain ?(pages = 16) ?(tweak = Fun.id) ?(inspect = ignore) () =
+let measure ~mm ~chain ?(pages = 16) ?(extra_nodes = 0) ?(tweak = Fun.id)
+    ?(inspect = ignore) ?(on_start = ignore) () =
   if chain < 1 then invalid_arg "Copy_chain.measure: chain < 1";
-  let nodes = chain + 1 in
+  if extra_nodes < 0 then invalid_arg "Copy_chain.measure: extra_nodes < 0";
+  let nodes = chain + 1 + extra_nodes in
   let config = tweak (Config.with_mm (Config.default ~nodes) mm) in
   let cl = Cluster.create config in
   let wpp = (Cluster.config cl).Config.vm.words_per_page in
@@ -40,6 +42,7 @@ let measure ~mm ~chain ?(pages = 16) ?(tweak = Fun.id) ?(inspect = ignore) () =
   done;
   let last = !current in
   (* fault every page of the region on the last node *)
+  on_start cl;
   let t_start = Cluster.now cl in
   let tally = Stats.Tally.create () in
   for p = 0 to pages - 1 do

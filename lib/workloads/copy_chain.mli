@@ -16,13 +16,18 @@ type result = {
 
 (** [tweak] rewrites the cluster configuration before creation (chaos
     fault plans); [inspect] runs against the drained cluster after the
-    fault loop (chaos invariant checks). *)
+    fault loop (chaos invariant checks); [on_start] runs against the
+    live cluster just before the fault loop (chaos crash schedules).
+    [extra_nodes] adds idle sharer nodes past the chain — crash victims
+    that hold protocol state but no measured task. *)
 val measure :
   mm:Asvm_cluster.Config.mm ->
   chain:int ->
   ?pages:int ->
+  ?extra_nodes:int ->
   ?tweak:(Asvm_cluster.Config.t -> Asvm_cluster.Config.t) ->
   ?inspect:(Asvm_cluster.Cluster.t -> unit) ->
+  ?on_start:(Asvm_cluster.Cluster.t -> unit) ->
   unit ->
   result
 

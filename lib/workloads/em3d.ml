@@ -111,7 +111,7 @@ let make_plans ~params ~pages_per_array =
   plans
 
 let run ~mm ?memory_pages ?(internode_paging = true) ?audit ?(tweak = Fun.id)
-    ?(inspect = ignore) params =
+    ?(inspect = ignore) ?(on_start = ignore) params =
   let { cells; nodes; iterations; _ } = params in
   if cells <= 0 || nodes <= 0 || iterations <= 0 then
     invalid_arg "Em3d.run: bad parameters";
@@ -189,6 +189,7 @@ let run ~mm ?memory_pages ?(internode_paging = true) ?audit ?(tweak = Fun.id)
       in
       init ())
     tasks;
+  on_start cl;
   Cluster.run cl;
   if !finished <> nodes then failwith "Em3d.run: nodes did not finish";
   (match (audit, Cluster.backend cl) with

@@ -54,7 +54,9 @@ val fits : cells:int -> nodes:int -> memory_pages_per_node:int -> bool
     invariant checks in tests. [tweak] rewrites the cluster
     configuration before creation (chaos fault plans); [inspect] runs
     against the drained cluster after the benchmark (cluster-level
-    chaos invariant checks, both backends). *)
+    chaos invariant checks, both backends); [on_start] runs against the
+    live cluster just before the event loop starts (chaos crash
+    schedules). *)
 val run :
   mm:Asvm_cluster.Config.mm ->
   ?memory_pages:int ->
@@ -62,6 +64,7 @@ val run :
   ?audit:(Asvm_core.Asvm.t -> unit) ->
   ?tweak:(Asvm_cluster.Config.t -> Asvm_cluster.Config.t) ->
   ?inspect:(Asvm_cluster.Cluster.t -> unit) ->
+  ?on_start:(Asvm_cluster.Cluster.t -> unit) ->
   params ->
   result
 

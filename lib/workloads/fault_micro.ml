@@ -28,7 +28,7 @@ type instrumented = {
 (* Node roles: 0 = I/O node (pager; XMM manager too), 1 = initializer,
    2.. = additional readers, last = faulting node. *)
 let measure_instrumented ?(nodes = 72) ?trace_out ?(tweak = Fun.id)
-    ?(inspect = ignore) ~mm kind =
+    ?(inspect = ignore) ?(on_start = ignore) ~mm kind =
   let needed =
     match kind with
     | Write_fault { read_copies } -> read_copies + 2
@@ -80,6 +80,7 @@ let measure_instrumented ?(nodes = 72) ?trace_out ?(tweak = Fun.id)
   done;
   if faulter_has_copy then sync_touch faulter Prot.Read_only;
   (* the measured fault *)
+  on_start cl;
   let before = Cluster.metrics_snapshot cl in
   let t0 = Cluster.now cl in
   let done_ = ref false in

@@ -34,12 +34,15 @@ type instrumented = {
     as JSONL to that file. [tweak] rewrites the cluster configuration
     before creation (chaos fault plans, reliability settings); [inspect]
     runs against the drained cluster after the measured fault (chaos
-    invariant checks). *)
+    invariant checks); [on_start] runs against the live cluster just
+    before the measured fault (chaos crash schedules —
+    [Plan.schedule_crashes]). *)
 val measure_instrumented :
   ?nodes:int ->
   ?trace_out:string ->
   ?tweak:(Asvm_cluster.Config.t -> Asvm_cluster.Config.t) ->
   ?inspect:(Asvm_cluster.Cluster.t -> unit) ->
+  ?on_start:(Asvm_cluster.Cluster.t -> unit) ->
   mm:Asvm_cluster.Config.mm ->
   fault_kind ->
   instrumented

@@ -62,13 +62,14 @@ let run_concurrent cl tasks ~pages_of ~want =
   finish
 
 let write_test ~mm ~nodes ?(file_mb = 4) ?(stripes = 1) ?(tweak = Fun.id)
-    ?(inspect = ignore) () =
+    ?(inspect = ignore) ?(on_start = ignore) () =
   let file_pages = file_mb * 128 in
   let cl, pagers, tasks =
     setup ~mm ~nodes ~file_pages ~with_data:false ~stripes ~tweak
   in
   let section = file_pages / nodes in
   let pages_of node = List.init section (fun i -> (node * section) + i) in
+  on_start cl;
   let t0 = Cluster.now cl in
   let finish = run_concurrent cl tasks ~pages_of ~want:Prot.Read_write in
   inspect cl;
@@ -90,12 +91,13 @@ let write_test ~mm ~nodes ?(file_mb = 4) ?(stripes = 1) ?(tweak = Fun.id)
   }
 
 let read_test ~mm ~nodes ?(file_mb = 4) ?(stripes = 1) ?(tweak = Fun.id)
-    ?(inspect = ignore) () =
+    ?(inspect = ignore) ?(on_start = ignore) () =
   let file_pages = file_mb * 128 in
   let cl, pagers, tasks =
     setup ~mm ~nodes ~file_pages ~with_data:true ~stripes ~tweak
   in
   let pages_of _node = List.init file_pages Fun.id in
+  on_start cl;
   let t0 = Cluster.now cl in
   let finish = run_concurrent cl tasks ~pages_of ~want:Prot.Read_only in
   inspect cl;

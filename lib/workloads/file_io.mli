@@ -23,7 +23,9 @@ type result = {
     round-robin by page — the section 6 striping proposal (ASVM only).
     [tweak] rewrites the cluster configuration before creation (chaos
     fault plans); [inspect] runs against the drained cluster after all
-    nodes finish (chaos invariant checks). *)
+    nodes finish (chaos invariant checks); [on_start] runs against the
+    live cluster just before the access loops start (chaos crash
+    schedules). *)
 val write_test :
   mm:Asvm_cluster.Config.mm ->
   nodes:int ->
@@ -31,6 +33,7 @@ val write_test :
   ?stripes:int ->
   ?tweak:(Asvm_cluster.Config.t -> Asvm_cluster.Config.t) ->
   ?inspect:(Asvm_cluster.Cluster.t -> unit) ->
+  ?on_start:(Asvm_cluster.Cluster.t -> unit) ->
   unit ->
   result
 
@@ -41,6 +44,7 @@ val read_test :
   ?stripes:int ->
   ?tweak:(Asvm_cluster.Config.t -> Asvm_cluster.Config.t) ->
   ?inspect:(Asvm_cluster.Cluster.t -> unit) ->
+  ?on_start:(Asvm_cluster.Cluster.t -> unit) ->
   unit ->
   result
 

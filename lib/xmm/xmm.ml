@@ -1,4 +1,5 @@
 module Ipc = Asvm_norma.Ipc
+module Network = Asvm_mesh.Network
 module Vm = Asvm_machvm.Vm
 module Prot = Asvm_machvm.Prot
 module Contents = Asvm_machvm.Contents
@@ -78,6 +79,7 @@ type handles = {
       (* xmm.msgs.ownership_transfer{msg,contents}, transfer rows only *)
   hm_fault_read : Metrics.Histogram.t;
   hm_fault_ownership : Metrics.Histogram.t;
+  hm_recovery : Metrics.Histogram.t;  (* xmm.recovery_ms *)
 }
 
 type export = { e_src_node : int; e_src_task : Ids.task_id }
@@ -90,6 +92,7 @@ type fork_pool = {
 
 type t = {
   ipc : msg Ipc.t;
+  net : Network.t;
   vms : Vm.t array;
   words_per_page : int;
   header_bytes : int;
@@ -105,6 +108,13 @@ type t = {
   (* (obj, page, origin) -> simulated time the fault left the kernel;
      feeds the xmm.fault_ms latency histogram *)
   fault_starts : (Ids.obj_id * int * int, float) Hashtbl.t;
+  (* (obj, page, origin) faults whose previous attempt died in a crash;
+     completion of the re-driven fault samples xmm.recovery_ms *)
+  recovering : (Ids.obj_id * int * int, float) Hashtbl.t;
+  (* answers a node owes for delivered-but-unanswered lock requests:
+     (owing node, destination, reply).  A crash inside the async-reply
+     window synthesizes the owed reply so the manager is not stranded. *)
+  mutable owed : (int * int * msg) list;
 }
 
 let now t = Asvm_simcore.Engine.now (Vm.engine t.vms.(0))
@@ -188,6 +198,7 @@ let make_handles metrics =
     hm_fault_ownership =
       Metrics.Registry.histogram metrics "xmm.fault_ms"
         ~labels:[ ("kind", "ownership") ];
+    hm_recovery = Metrics.Registry.histogram metrics "xmm.recovery_ms";
   }
 
 let msgs_counter t row ci =
@@ -251,6 +262,11 @@ let pager_hop t ~node ~carries_page ~row k =
   send t ~src:node ~dst_node:node ~carries_page ~row (Pager_hop { cont = id })
 
 let observe_fault t ~obj ~page ~origin ~write =
+  (match Hashtbl.find_opt t.recovering (obj, page, origin) with
+  | None -> ()
+  | Some t0 ->
+    Hashtbl.remove t.recovering (obj, page, origin);
+    Metrics.Histogram.observe t.handles.hm_recovery (now t -. t0));
   match Hashtbl.find_opt t.fault_starts (obj, page, origin) with
   | None -> ()
   | Some t0 ->
@@ -307,60 +323,82 @@ let flush_readers t ms ~origin ~page ~desired k =
         readers
 
 let rec run_request t ms ~origin ~page ~desired ~upgrade =
-  let obj = ms.m_obj in
-  make_coherent t ms ~origin ~page ~desired (fun () ->
-      flush_readers t ms ~origin ~page ~desired (fun () ->
-          let record_owner () =
-            if Prot.equal desired Prot.Read_write then
-              Trace.emit t.trace ~time:(now t) ~node:ms.m_node
-                (Trace.Ownership { obj; page; owner = origin })
-          in
-          if upgrade && Bytes.get (node_state ms origin) page <> st_invalid then begin
-            (* origin already holds the data: grant without contents *)
-            Bytes.set (node_state ms origin) page
-              (if Prot.equal desired Prot.Read_write then st_write else st_read);
-            record_owner ();
-            if origin = ms.m_node then begin
-              Vm.lock_request t.vms.(origin) ~obj ~page
-                ~op:
-                  {
-                    Emmi.max_access = Prot.Read_write;
-                    clean = false;
-                    mode = Emmi.Lock_plain;
-                  }
-                ~reply:(fun _ -> ());
-              observe_fault t ~obj ~page ~origin ~write:true
+  if Network.is_down t.net origin then
+    (* the origin crashed while its request was queued: nothing to serve *)
+    unbusy t ms page
+  else begin
+    let obj = ms.m_obj in
+    (* captured at service start: a crash (and even a rejoin) of the
+       origin while the manager is mid-protocol must not end with a
+       supply to a kernel that no longer expects one *)
+    let origin_inc = Network.incarnation t.net origin in
+    let origin_ok () =
+      (not (Network.is_down t.net origin))
+      && Network.incarnation t.net origin = origin_inc
+    in
+    make_coherent t ms ~origin ~page ~desired (fun () ->
+        flush_readers t ms ~origin ~page ~desired (fun () ->
+            let record_owner () =
+              if Prot.equal desired Prot.Read_write then
+                Trace.emit t.trace ~time:(now t) ~node:ms.m_node
+                  (Trace.Ownership { obj; page; owner = origin })
+            in
+            if upgrade && Bytes.get (node_state ms origin) page <> st_invalid
+            then begin
+              (* origin already holds the data: grant without contents *)
+              if origin_ok () then begin
+                Bytes.set (node_state ms origin) page
+                  (if Prot.equal desired Prot.Read_write then st_write
+                   else st_read);
+                record_owner ();
+                if origin = ms.m_node then begin
+                  Vm.lock_request t.vms.(origin) ~obj ~page
+                    ~op:
+                      {
+                        Emmi.max_access = Prot.Read_write;
+                        clean = false;
+                        mode = Emmi.Lock_plain;
+                      }
+                    ~reply:(fun _ -> ());
+                  observe_fault t ~obj ~page ~origin ~write:true
+                end
+                else
+                  send t ~src:ms.m_node ~dst_node:origin (Grant { obj; page })
+              end;
+              unbusy t ms page
             end
-            else send t ~src:ms.m_node ~dst_node:origin (Grant { obj; page });
-            unbusy t ms page
-          end
-          else
-            (* Step 3: forward the request to the pager, which now views
-               the origin as the page's only user. Local IPC to the
-               user-level pager task: request out, supply (with page)
-               back. *)
-            pager_hop t ~node:ms.m_node ~carries_page:false
-              ~row:row_pager_request (fun () ->
-                Store_pager.request ms.m_pager ~obj ~page
-                  ~words:t.words_per_page (fun contents ->
-                    pager_hop t ~node:ms.m_node ~carries_page:true
-                      ~row:row_pager_supply (fun () ->
-                        Bytes.set (node_state ms origin) page
-                          (if Prot.equal desired Prot.Read_write then st_write
-                           else st_read);
-                        record_owner ();
-                        if origin = ms.m_node then begin
-                          (* kernel and manager co-resident: plain EMMI *)
-                          Vm.data_supply t.vms.(origin) ~obj ~page ~contents
-                            ~lock:desired ~mode:Emmi.Supply_normal;
-                          observe_fault t ~obj ~page ~origin
-                            ~write:(Prot.equal desired Prot.Read_write)
-                        end
-                        else
-                          send t ~src:ms.m_node ~dst_node:origin
-                            ~carries_page:true
-                            (Supply { obj; page; contents; lock = desired });
-                        unbusy t ms page)))))
+            else
+              (* Step 3: forward the request to the pager, which now views
+                 the origin as the page's only user. Local IPC to the
+                 user-level pager task: request out, supply (with page)
+                 back. *)
+              pager_hop t ~node:ms.m_node ~carries_page:false
+                ~row:row_pager_request (fun () ->
+                  Store_pager.request ms.m_pager ~obj ~page
+                    ~words:t.words_per_page (fun contents ->
+                      pager_hop t ~node:ms.m_node ~carries_page:true
+                        ~row:row_pager_supply (fun () ->
+                          if origin_ok () then begin
+                            Bytes.set (node_state ms origin) page
+                              (if Prot.equal desired Prot.Read_write then
+                                 st_write
+                               else st_read);
+                            record_owner ();
+                            if origin = ms.m_node then begin
+                              (* kernel and manager co-resident: plain EMMI *)
+                              Vm.data_supply t.vms.(origin) ~obj ~page
+                                ~contents ~lock:desired
+                                ~mode:Emmi.Supply_normal;
+                              observe_fault t ~obj ~page ~origin
+                                ~write:(Prot.equal desired Prot.Read_write)
+                            end
+                            else
+                              send t ~src:ms.m_node ~dst_node:origin
+                                ~carries_page:true
+                                (Supply { obj; page; contents; lock = desired })
+                          end;
+                          unbusy t ms page)))))
+  end
 
 and unbusy t ms page =
   Hashtbl.remove ms.m_busy page;
@@ -427,18 +465,31 @@ let manager_returned _t ms ~node ~page ~contents ~dirty =
 let handle_lock t ~node ~obj ~page ~max_access ~clean =
   let vm = t.vms.(node) in
   let ms = manager_for t obj in
+  (* The kernel answers asynchronously; until it does, this node owes the
+     manager a Lock_done.  If the node crashes inside the window,
+     [crash_node] synthesizes the owed (empty) reply so the manager's
+     wait resolves — the copy is simply gone. *)
+  let owed = (node, ms.m_node, Lock_done { node; obj; page; contents = None }) in
+  t.owed <- owed :: t.owed;
+  let inc = Network.incarnation t.net node in
   Vm.lock_request vm ~obj ~page
     ~op:{ Emmi.max_access; clean; mode = Emmi.Lock_plain }
     ~reply:(fun result ->
-      let contents =
-        match result with
-        | Emmi.Lock_done { returned } -> returned
-        | Emmi.Lock_not_present -> None
-      in
-      send t ~src:node ~dst_node:ms.m_node
-        ~carries_page:(Option.is_some contents)
-        ~row:(row_lock_done ~clean)
-        (Lock_done { node; obj; page; contents }))
+      if
+        Network.incarnation t.net node = inc
+        && not (Network.is_down t.net node)
+      then begin
+        t.owed <- List.filter (fun o -> o != owed) t.owed;
+        let contents =
+          match result with
+          | Emmi.Lock_done { returned } -> returned
+          | Emmi.Lock_not_present -> None
+        in
+        send t ~src:node ~dst_node:ms.m_node
+          ~carries_page:(Option.is_some contents)
+          ~row:(row_lock_done ~clean)
+          (Lock_done { node; obj; page; contents })
+      end)
 
 (* ------------------------------------------------------------------ *)
 (* Internal pager for remote fork                                     *)
@@ -472,14 +523,21 @@ let handle_fork_request t ~dst_node ~dst_obj ~page =
      this is the deadlock hazard of paper section 3.1 *)
   pool_acquire pool (fun () ->
       let rec attempt () =
-        Vm.touch vm ~task:e.e_src_task ~vpage:page ~want:Prot.Read_only
-          (fun () ->
-            match Vm.page_contents vm ~task:e.e_src_task ~vpage:page with
-            | Some contents ->
-              pool_release pool;
-              send t ~src:e.e_src_node ~dst_node ~carries_page:true
-                (Fork_supply { dst_obj; page; contents })
-            | None -> attempt ())
+        if
+          Network.is_down t.net e.e_src_node || Network.is_down t.net dst_node
+        then
+          (* source or requester crashed mid-fork: free the pager thread
+             and drop — the requester re-faults at rejoin *)
+          pool_release pool
+        else
+          Vm.touch vm ~task:e.e_src_task ~vpage:page ~want:Prot.Read_only
+            (fun () ->
+              match Vm.page_contents vm ~task:e.e_src_task ~vpage:page with
+              | Some contents ->
+                pool_release pool;
+                send t ~src:e.e_src_node ~dst_node ~carries_page:true
+                  (Fork_supply { dst_obj; page; contents })
+              | None -> attempt ())
       in
       attempt ())
 
@@ -530,6 +588,7 @@ let create ~net ~ipc_config ~vms ~words_per_page ~fork_threads ?metrics ?trace
   let t =
     {
       ipc;
+      net;
       vms;
       words_per_page;
       header_bytes = ipc_config.Ipc.header_bytes;
@@ -545,11 +604,37 @@ let create ~net ~ipc_config ~vms ~words_per_page ~fork_threads ?metrics ?trace
       handles = make_handles metrics;
       trace;
       fault_starts = Hashtbl.create 16;
+      recovering = Hashtbl.create 16;
+      owed = [];
     }
   in
   t.ports <-
     Array.init n (fun node ->
         Ipc.port ipc ~node ~handler:(fun _port msg -> handle t node msg));
+  Ipc.set_on_dead_letter ipc
+    (Some
+       (fun ~src ~dst ~src_dead ~dst_dead msg ->
+         if not dst_dead then begin
+           (* only the source died after transmit: the payload is intact.
+              A Request names the dead source as its fault origin, so it
+              is moot; everything else (Lock_done, Returned, Fork_supply)
+              still carries valid state — apply it verbatim. *)
+           match msg with
+           | Request _ -> ()
+           | m -> handle t dst m
+         end
+         else
+           match msg with
+           | Lock { obj; page; _ } ->
+             (* the recalled node crashed: its copy is gone, so answer
+                the manager with an empty Lock_done to resolve the wait
+                (the pager image is the coherent version) *)
+             if not (Network.is_down t.net src) then
+               handle t src (Lock_done { node = dst; obj; page; contents = None })
+           | _ ->
+             (* Supply / Grant / Fork_supply to a crashed kernel: dropped;
+                the node re-faults from the pager at rejoin *)
+             ignore src_dead));
   t
 
 let ipc_messages t = Ipc.messages t.ipc
@@ -604,6 +689,69 @@ let register_shared_object t ~obj ~size_pages ~manager_node ~pager ~sharers =
       in
       Vm.set_manager t.vms.(node) obj (Some manager))
     sharers
+
+(* ------------------------------------------------------------------ *)
+(* Crash and rejoin                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Centralized-manager recovery: because every manager keeps a dense
+   per-node page-state row and the pager always holds a coherent image
+   before any supply, recovering from a non-manager crash is just
+   bookkeeping — zero the victim's row, drop its queued requests,
+   resolve the replies it owed.  The price of the simplicity is the
+   design's single point of failure: a crash of a manager node itself is
+   unrecoverable here (the dense matrix and wait queues die with it),
+   which is the availability contrast docs/AVAILABILITY.md draws against
+   ASVM's re-electable distributed ownership. *)
+let crash_node t ~node =
+  Hashtbl.iter
+    (fun _ ms ->
+      (* the victim's cache is gone: it holds nothing, anywhere *)
+      (match Hashtbl.find_opt ms.m_state node with
+      | Some row -> Bytes.fill row 0 ms.m_size st_invalid
+      | None -> ());
+      (* requests the victim originated and never got served are moot *)
+      Hashtbl.iter
+        (fun _page q ->
+          let keep = Queue.create () in
+          Queue.iter
+            (fun m ->
+              match m with
+              | Request { origin; _ } when origin = node -> ()
+              | m -> Queue.push m keep)
+            q;
+          Queue.clear q;
+          Queue.transfer keep q)
+        ms.m_queue)
+    t.managers;
+  (* resolve the Lock_dones the victim owed: the manager's wait must not
+     hang on a kernel that will never answer *)
+  let owed_by, rest = List.partition (fun (n, _, _) -> n = node) t.owed in
+  t.owed <- rest;
+  let eng = Network.engine t.net in
+  List.iter
+    (fun (_, dst, msg) ->
+      Asvm_simcore.Engine.schedule eng ~delay:0. (fun () ->
+          if not (Network.is_down t.net dst) then handle t dst msg))
+    owed_by;
+  (* in-flight fault timing for the victim is meaningless now *)
+  let stale =
+    Hashtbl.fold
+      (fun ((_, _, origin) as key) _ acc ->
+        if origin = node then key :: acc else acc)
+      t.fault_starts []
+  in
+  List.iter (Hashtbl.remove t.fault_starts) stale
+
+let rejoin_node t ~node =
+  let vm = t.vms.(node) in
+  let t0 = now t in
+  List.iter
+    (fun (obj, page) ->
+      if not (Hashtbl.mem t.recovering (obj, page, node)) then
+        Hashtbl.replace t.recovering (obj, page, node) t0)
+    (Vm.pending_pages vm);
+  Vm.redrive_pending vm
 
 let state_bytes t ~obj =
   let ms = manager_for t obj in

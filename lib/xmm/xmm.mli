@@ -72,6 +72,32 @@ val register_shared_object :
     requirements" critique. *)
 val state_bytes : t -> obj:Asvm_machvm.Ids.obj_id -> int
 
+(** {1 Crash and rejoin (see [docs/AVAILABILITY.md])} *)
+
+(** Recover the manager-side state from a whole-node crash of a
+    {e non-manager} node.  The caller must already have marked the node
+    down ({!Asvm_mesh.Network.set_down}) and reset its kernel
+    ({!Asvm_machvm.Vm.crash_reset}).
+
+    Because the pager always holds a coherent image before any supply,
+    recovery is pure bookkeeping: the victim's row of every page-state
+    matrix is zeroed, requests it originated are dropped from the
+    manager queues, and [Lock_done] replies it owed are synthesized
+    (empty — the copy died with it) so manager waits resolve.  Messages
+    in flight around the crash divert to the NORMA dead-letter hook.
+
+    A crash of a node that {e hosts a manager} (or a fork source) is
+    unsupported: the dense state matrix, wait queues and internal pagers
+    die with it.  This single point of failure is the availability
+    contrast with ASVM's re-electable distributed ownership that
+    [docs/AVAILABILITY.md] documents. *)
+val crash_node : t -> node:int -> unit
+
+(** Re-admit a node after {!crash_node}: re-drives the kernel faults
+    that survived the crash, each sampled into the [xmm.recovery_ms]
+    histogram when it completes. *)
+val rejoin_node : t -> node:int -> unit
+
 (** {1 Remote fork (delayed copy via internal pagers)} *)
 
 (** [export_copy t ~src_node ~src_obj ~dst_node ~dst_obj] wires [dst_obj]

@@ -1,0 +1,231 @@
+(* Tests for whole-node crash & rejoin (docs/AVAILABILITY.md):
+   deterministic crash cells under every workload, k-of-n rolling
+   schedules under both protocols, jobs-independence of crash-cell
+   outcomes, down-node silence after a crash, and convergence when the
+   survivors' hint caches all point at the dead node. *)
+
+module Cluster = Asvm_cluster.Cluster
+module Config = Asvm_cluster.Config
+module Prot = Asvm_machvm.Prot
+module Vm = Asvm_machvm.Vm
+module Vm_config = Asvm_machvm.Vm_config
+module Address_map = Asvm_machvm.Address_map
+module Trace = Asvm_obs.Trace
+module Engine = Asvm_simcore.Engine
+module Plan = Asvm_chaos.Plan
+module Invariants = Asvm_chaos.Invariants
+module Soak = Asvm_chaos.Soak
+module Runner = Asvm_runner.Runner
+
+(* ------------------- rolling-schedule arithmetic ------------------- *)
+
+let test_rolling_shape () =
+  let plan = Plan.rolling ~victims:[ 2; 3; 4 ] ~k:2 ~start_ms:1.0 ~every_ms:2.0 () in
+  Alcotest.(check int) "one crash per victim" 3 (List.length plan.Plan.crashes);
+  List.iteri
+    (fun i (c : Plan.crash) ->
+      Alcotest.(check int) "victims in order" (2 + i) c.Plan.c_victim;
+      Alcotest.(check (float 1e-9))
+        "cadence is start + i*every" (1.0 +. (float_of_int i *. 2.0))
+        c.Plan.c_at_ms;
+      match c.Plan.c_down_ms with
+      | Some d ->
+        (* just short of k periods, so k nodes are down at steady state *)
+        Alcotest.(check (float 1e-9)) "down time is (k - 0.1) periods" 3.8 d
+      | None -> Alcotest.fail "rolling crashes must rejoin")
+    plan.Plan.crashes;
+  Alcotest.(check bool) "k=0 rejected" true
+    (try
+       ignore (Plan.rolling ~victims:[ 1 ] ~k:0 ~start_ms:0. ~every_ms:1. ());
+       false
+     with Invalid_argument _ -> true)
+
+(* --------------- deterministic crash cells, k = 1 ------------------ *)
+
+let check_outcome tag (o : Soak.outcome) =
+  Alcotest.(check bool) (tag ^ " completed") true o.Soak.completed;
+  Alcotest.(check (list string)) (tag ^ " invariants hold") [] o.Soak.violations;
+  Alcotest.(check bool) (tag ^ " crashes executed") true (o.Soak.crashes > 0);
+  Alcotest.(check int) (tag ^ " every crash rejoined") o.Soak.crashes
+    o.Soak.rejoins
+
+let crash_cell (mm, workload, k) =
+  let reliable = mm = Config.Mm_asvm in
+  Soak.run_one ~quick:true ~mm ~workload
+    ~plan:(Soak.crash_plan ~workload ~k)
+    ~reliable ()
+
+let test_crash_cells_each_workload () =
+  let cells = List.map (fun w -> (Config.Mm_asvm, w, 1)) Soak.workloads in
+  let outcomes = Runner.map crash_cell cells in
+  List.iter2
+    (fun (_, w, _) o -> check_outcome (Printf.sprintf "ASVM %s k=1" w) o)
+    cells outcomes
+
+(* ---------------- k = 2 rolling, both protocols -------------------- *)
+
+let test_k2_rolling_both_protocols () =
+  let cells =
+    List.concat_map
+      (fun w -> [ (Config.Mm_asvm, w, 2); (Config.Mm_xmm, w, 2) ])
+      Soak.workloads
+  in
+  let outcomes = Runner.map crash_cell cells in
+  List.iter2
+    (fun (mm, w, _) o ->
+      check_outcome (Printf.sprintf "%s %s k=2" (Config.mm_name mm) w) o)
+    cells outcomes
+
+(* ------------- outcomes independent of worker count ---------------- *)
+
+let outcome_digest (o : Soak.outcome) =
+  Printf.sprintf "%s/%s ok=%b v=%d crash=%d rejoin=%d lost=%d sim=%.6f"
+    (Config.mm_name o.Soak.mm) o.Soak.workload o.Soak.completed
+    (List.length o.Soak.violations)
+    o.Soak.crashes o.Soak.rejoins o.Soak.lost_pages o.Soak.sim_ms
+
+let test_outcomes_independent_of_jobs () =
+  let cells =
+    [
+      (Config.Mm_asvm, "fault", 1);
+      (Config.Mm_asvm, "file", 2);
+      (Config.Mm_asvm, "em3d", 2);
+      (Config.Mm_xmm, "chain", 1);
+    ]
+  in
+  let digest cell = outcome_digest (crash_cell cell) in
+  let sequential = Runner.map ~jobs:1 digest cells in
+  let parallel = Runner.map ~jobs:4 digest cells in
+  Alcotest.(check (list string))
+    "identical crash-cell outcomes at any job count" sequential parallel
+
+(* --------------- direct crash scenario on a cluster ----------------
+
+   A 5-node ASVM cluster; node 3 writes two pages of a shared object
+   (becoming their owner), nodes 1 and 2 read one of them (acquiring
+   dynamic hints that point at node 3), then node 3 crashes and never
+   rejoins.  The survivors' subsequent writes must converge through
+   re-election even though every hint they hold is poisoned. *)
+
+let make_crashed_owner_scenario () =
+  let cfg = Config.default ~nodes:5 in
+  let cfg = { cfg with Config.trace_capacity = Some 65536 } in
+  let cl = Cluster.create cfg in
+  let wpp = (Cluster.config cl).Config.vm.Vm_config.words_per_page in
+  let obj =
+    Cluster.create_shared_object cl ~size_pages:2 ~sharers:[ 1; 2; 3 ] ()
+  in
+  let task n =
+    let t = Cluster.create_task cl ~node:n in
+    Cluster.map cl ~task:t ~obj ~start:0 ~npages:2
+      ~inherit_:Address_map.Inherit_share;
+    t
+  in
+  let t1, t2, t3 = (task 1, task 2, task 3) in
+  let sync k =
+    let ok = ref false in
+    k (fun () -> ok := true);
+    Cluster.run cl;
+    if not !ok then Alcotest.fail "operation did not complete"
+  in
+  (* node 3 becomes owner of both pages *)
+  sync (fun k ->
+      Cluster.write_word cl ~task:t3 ~addr:0 ~value:31 (fun () -> k ()));
+  sync (fun k ->
+      Cluster.write_word cl ~task:t3 ~addr:wpp ~value:32 (fun () -> k ()));
+  (* nodes 1 and 2 read page 0: their hint chains now point at node 3 *)
+  sync (fun k -> Cluster.touch cl ~task:t1 ~vpage:0 ~want:Prot.Read_only k);
+  sync (fun k -> Cluster.touch cl ~task:t2 ~vpage:0 ~want:Prot.Read_only k);
+  Alcotest.(check bool) "victim is crashable" true
+    (Cluster.crashable cl ~node:3);
+  let crash_time = Cluster.now cl in
+  Cluster.crash_node cl ~node:3;
+  (cl, t1, t2, wpp, crash_time, sync)
+
+let test_poisoned_hints_converge () =
+  let cl, t1, t2, wpp, _crash_time, sync = make_crashed_owner_scenario () in
+  (* both survivors write through their stale hints; page 1's only copy
+     died with node 3, so its re-read must come back zero-filled via the
+     pager rather than hang *)
+  sync (fun k ->
+      Cluster.write_word cl ~task:t1 ~addr:1 ~value:100 (fun () -> k ()));
+  sync (fun k ->
+      Cluster.read_word cl ~task:t2 ~addr:1 (fun v ->
+          Alcotest.(check int) "survivor reads the survivor's write" 100 v;
+          k ()));
+  sync (fun k ->
+      Cluster.read_word cl ~task:t2 ~addr:wpp (fun v ->
+          Alcotest.(check int) "sole-copy page lost with the node" 0 v;
+          k ()));
+  Alcotest.(check (list string)) "invariants hold after recovery" []
+    (Invariants.check cl)
+
+let test_down_node_silence () =
+  let cl, t1, t2, _wpp, crash_time, sync = make_crashed_owner_scenario () in
+  sync (fun k ->
+      Cluster.write_word cl ~task:t1 ~addr:1 ~value:100 (fun () -> k ()));
+  sync (fun k -> Cluster.touch cl ~task:t2 ~vpage:0 ~want:Prot.Read_only k);
+  let trace =
+    match Cluster.trace cl with
+    | Some tr -> tr
+    | None -> Alcotest.fail "trace not enabled"
+  in
+  let post_crash_victim_events =
+    List.filter
+      (fun (e : Trace.event) ->
+        e.Trace.node = 3
+        && e.Trace.time >= crash_time
+        &&
+        match e.Trace.kind with
+        | Trace.Note { category = "crash"; _ } -> false (* administrative *)
+        | _ -> true)
+      (Trace.events trace)
+  in
+  Alcotest.(check int) "a crashed node generates no events" 0
+    (List.length post_crash_victim_events);
+  Alcotest.(check int) "no pages remain resident on the victim" 0
+    (Vm.resident_total (Cluster.node_vm cl 3))
+
+let test_rejoin_reuses_task () =
+  let cl, t1, _t2, _wpp, _crash_time, sync = make_crashed_owner_scenario () in
+  sync (fun k ->
+      Cluster.write_word cl ~task:t1 ~addr:1 ~value:100 (fun () -> k ()));
+  Cluster.rejoin_node cl ~node:3;
+  Alcotest.(check bool) "node is back up" false (Cluster.node_down cl ~node:3);
+  (* a fresh task on the rejoined node re-faults from empty caches and
+     sees the survivor's write *)
+  let t3 = Cluster.create_task cl ~node:3 in
+  Cluster.map cl ~task:t3
+    ~obj:(fst (List.hd (Cluster.registered_objects cl)))
+    ~start:0 ~npages:2 ~inherit_:Address_map.Inherit_share;
+  sync (fun k ->
+      Cluster.read_word cl ~task:t3 ~addr:1 (fun v ->
+          Alcotest.(check int) "rejoined node reads current contents" 100 v;
+          k ()));
+  Alcotest.(check (list string)) "invariants hold after rejoin" []
+    (Invariants.check cl)
+
+let () =
+  Alcotest.run "crash"
+    [
+      ( "plan",
+        [ Alcotest.test_case "rolling schedule shape" `Quick test_rolling_shape ] );
+      ( "cells",
+        [
+          Alcotest.test_case "every workload survives k=1" `Slow
+            test_crash_cells_each_workload;
+          Alcotest.test_case "both protocols survive k=2" `Slow
+            test_k2_rolling_both_protocols;
+          Alcotest.test_case "outcomes independent of --jobs" `Slow
+            test_outcomes_independent_of_jobs;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "poisoned hints converge" `Quick
+            test_poisoned_hints_converge;
+          Alcotest.test_case "crashed node stays silent" `Quick
+            test_down_node_silence;
+          Alcotest.test_case "rejoin restores the node" `Quick
+            test_rejoin_reuses_task;
+        ] );
+    ]
