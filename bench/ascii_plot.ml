@@ -3,6 +3,25 @@
 
 type series = { label : string; marker : char; points : (float * float) list }
 
+(* Empirical CDF of a sample list as a plottable series: x = value,
+   y = cumulative percent <= x.  One point per order statistic (capped
+   at [points], default 128, by even subsampling), so a latency tail
+   renders faithfully without a thousand columns. *)
+let cdf ?(points = 128) ~label ~marker samples =
+  let a = Array.copy samples in
+  Array.sort compare a;
+  let n = Array.length a in
+  let pts =
+    if n = 0 then []
+    else
+      let m = min points n in
+      List.init m (fun i ->
+          (* even coverage of ranks 0..n-1, always including the max *)
+          let rank = if m = 1 then n - 1 else i * (n - 1) / (m - 1) in
+          (a.(rank), 100. *. float_of_int (rank + 1) /. float_of_int n))
+  in
+  { label; marker; points = pts }
+
 let render ?(width = 64) ?(height = 16) ?(log_y = false) ~x_label ~y_label
     series =
   let all_points = List.concat_map (fun s -> s.points) series in

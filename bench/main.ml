@@ -9,6 +9,7 @@
    Harness speed:       dune exec bench/main.exe -- selfbench
    Page-store bench:    dune exec bench/main.exe -- pagestore
    Chaos soak:          dune exec bench/main.exe -- chaos --seeds 10
+   Serving SLO bench:   dune exec bench/main.exe -- serve
    Microbenchmarks:     dune exec bench/main.exe -- bechamel *)
 
 module Config = Asvm_cluster.Config
@@ -952,6 +953,211 @@ let chaos ~quick ~seeds ?jobs () =
        BENCH_chaos.json"
 
 (* ------------------------------------------------------------------ *)
+(* Serving SLO bench (BENCH_serve.json)                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Open-loop serving cells: protocol x arrival process x
+   oversubscription ratio, every request's latency into exact-percentile
+   histograms, plus one chaos-composed cell (serve under a lossy fault
+   plan with the invariant checker after drain).  The JSON is free of
+   wall-clock fields, and every cell is a pure function of the fixed
+   seed, so the file is byte-identical at any --jobs — the determinism
+   check CI leans on. *)
+
+module Serve = Asvm_serve.Serve
+module Arrival = Asvm_serve.Arrival
+
+let serve_cell_json ~mm ~process ~oversub ~violations (r : Serve.result) =
+  let ordered = r.Serve.p50_ms <= r.p99_ms && r.p99_ms <= r.p999_ms in
+  let merge_exact =
+    r.Serve.merged_count = r.registry_count
+    && r.merged_count = r.completions
+  in
+  Json.Obj
+    [
+      ("mm", Json.String (Config.mm_name mm));
+      ("arrival", Json.String (Arrival.process_name process));
+      ("oversub", Json.Float oversub);
+      ("requests", Json.Int r.Serve.requests);
+      ("completions", Json.Int r.completions);
+      ("sim_ms", Json.Float r.sim_ms);
+      ("goodput_rps", Json.Float r.goodput_rps);
+      ("mean_ms", Json.Float r.mean_ms);
+      ("p50_ms", Json.Float r.p50_ms);
+      ("p99_ms", Json.Float r.p99_ms);
+      ("p999_ms", Json.Float r.p999_ms);
+      ("max_ms", Json.Float r.max_ms);
+      ("evictions", Json.Int r.evictions);
+      ("pageout_runs", Json.Int r.pageout_runs);
+      ("pageout_evictions", Json.Int r.pageout_evictions);
+      ("pager_stores", Json.Int r.pager_stores);
+      ("reader_handoffs", Json.Int r.reader_handoffs);
+      ("internode_pageouts", Json.Int r.internode_pageouts);
+      ("pageouts_to_pager", Json.Int r.pageouts_to_pager);
+      ( "queue_depth",
+        Json.List
+          (List.map
+             (fun (t, d) ->
+               Json.Obj [ ("t_ms", Json.Float t); ("depth", Json.Int d) ])
+             r.queue_depth) );
+      ("percentiles_ordered", Json.Bool ordered);
+      ("merge_exact", Json.Bool merge_exact);
+      ( "violations",
+        match violations with
+        | None -> Json.Null
+        | Some vs -> Json.List (List.map (fun v -> Json.String v) vs) );
+    ]
+
+let serve ~quick ?jobs () =
+  let module Plan = Asvm_chaos.Plan in
+  let module Invariants = Asvm_chaos.Invariants in
+  let module Sts = Asvm_sts.Sts in
+  header "serve: open-loop serving SLO under memory oversubscription";
+  let rate = if quick then 500. else 1000. in
+  let params ~process ~oversub =
+    {
+      Serve.default_params with
+      Serve.duration_ms = (if quick then 300. else 1200.);
+      process;
+      oversub;
+      queue_samples = 16;
+    }
+  in
+  let arrivals =
+    [
+      Arrival.Poisson { rate_per_s = rate };
+      Arrival.Bursty
+        {
+          on_rate_per_s = rate *. 2.5;
+          off_rate_per_s = rate /. 4.;
+          on_ms = 40.;
+          off_ms = 60.;
+        };
+    ]
+  in
+  let oversubs = [ 1.5; 3.0 ] in
+  let cells =
+    List.concat_map
+      (fun mm ->
+        List.concat_map
+          (fun process ->
+            List.map (fun oversub -> (mm, process, oversub)) oversubs)
+          arrivals)
+      [ Config.Mm_asvm; Config.Mm_xmm ]
+  in
+  let results =
+    Runner.map ?jobs
+      (fun (mm, process, oversub) -> Serve.run ~mm (params ~process ~oversub))
+      cells
+  in
+  (* chaos-composed cell: the same serving load under a lossy fault plan
+     with the reliable STS absorbing the losses; the invariant checker
+     runs after drain and must stay green *)
+  let chaos_process = List.hd arrivals in
+  let chaos_oversub = List.hd oversubs in
+  let plan = Plan.lossy ~p:0.02 ~seed:1096 () in
+  let chaos_violations = ref [] in
+  let chaos_result =
+    Serve.run ~mm:Config.Mm_asvm
+      ~tweak:(fun (c : Config.t) ->
+        let sts =
+          {
+            c.Config.asvm.Asvm_core.Asvm.sts with
+            Sts.interposer = Some (Plan.sts_interposer plan);
+            reliability = Some Sts.default_reliability;
+          }
+        in
+        {
+          c with
+          Config.net_interposer = Some (Plan.net_interposer plan);
+          asvm = { c.Config.asvm with sts };
+        })
+      ~inspect:(fun cl -> chaos_violations := Invariants.check cl)
+      (params ~process:chaos_process ~oversub:chaos_oversub)
+  in
+  pf "%6s %9s %9s | %9s %9s %9s %9s | %9s %9s@." "mm" "arrival" "oversub"
+    "p50 (ms)" "p99 (ms)" "p999 (ms)" "rps" "evict" "daemon";
+  rule ();
+  List.iter2
+    (fun (mm, process, oversub) (r : Serve.result) ->
+      pf "%6s %9s %9.1f | %9.2f %9.2f %9.2f %9.0f | %9d %9d@."
+        (Config.mm_name mm)
+        (Arrival.process_name process)
+        oversub r.Serve.p50_ms r.p99_ms r.p999_ms r.goodput_rps r.evictions
+        r.pageout_evictions)
+    cells results;
+  rule ();
+  pf "chaos-composed cell (%s, oversub %.1f, plan %s): %d violations@."
+    (Arrival.process_name chaos_process)
+    chaos_oversub (Plan.describe plan)
+    (List.length !chaos_violations);
+  (* latency CDFs for the highest-pressure Poisson cells *)
+  let cdf_of mm =
+    let rec pick cs rs =
+      match (cs, rs) with
+      | (m, Arrival.Poisson _, o) :: _, (r : Serve.result) :: _
+        when m = mm && o = List.fold_left max 0. oversubs ->
+        Some r
+      | _ :: cs, _ :: rs -> pick cs rs
+      | _ -> None
+    in
+    pick cells results
+  in
+  (match (cdf_of Config.Mm_asvm, cdf_of Config.Mm_xmm) with
+  | Some a, Some x ->
+    pf "%s@."
+      (Ascii_plot.render ~x_label:"latency (ms)" ~y_label:"% of requests"
+         [
+           Ascii_plot.cdf ~label:"ASVM" ~marker:'a' a.Serve.latency_values;
+           Ascii_plot.cdf ~label:"XMM" ~marker:'x' x.Serve.latency_values;
+         ])
+  | _ -> ());
+  let json =
+    Json.Obj
+      [
+        ("schema", Json.String "asvm.serve/v1");
+        ("quick", Json.Bool quick);
+        ("seed", Json.Int Serve.default_params.Serve.seed);
+        ("rate_per_s", Json.Float rate);
+        ( "cells",
+          Json.List
+            (List.map2
+               (fun (mm, process, oversub) r ->
+                 serve_cell_json ~mm ~process ~oversub ~violations:None r)
+               cells results) );
+        ( "chaos_cell",
+          serve_cell_json ~mm:Config.Mm_asvm ~process:chaos_process
+            ~oversub:chaos_oversub
+            ~violations:(Some !chaos_violations)
+            chaos_result );
+      ]
+  in
+  let oc = open_out "BENCH_serve.json" in
+  output_string oc (Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  (* read it back: a zero exit certifies the file is well-formed JSON *)
+  let ic = open_in "BENCH_serve.json" in
+  let contents = In_channel.input_all ic in
+  close_in ic;
+  (match Json.of_string (String.trim contents) with
+  | Ok _ -> ()
+  | Error e -> failwith ("serve: BENCH_serve.json is invalid: " ^ e));
+  pf "wrote BENCH_serve.json@.";
+  let all_results = (Config.Mm_asvm, chaos_result) :: List.combine (List.map (fun (m, _, _) -> m) cells) results in
+  List.iter
+    (fun (_, (r : Serve.result)) ->
+      if r.Serve.completions <> r.requests then
+        failwith "serve: open loop failed to drain (completions <> requests)";
+      if not (r.Serve.p50_ms <= r.p99_ms && r.p99_ms <= r.p999_ms) then
+        failwith "serve: percentiles out of order";
+      if r.Serve.merged_count <> r.registry_count then
+        failwith "serve: shard-merge count disagrees with registry histogram")
+    all_results;
+  if !chaos_violations <> [] then
+    failwith "serve: invariant violations in the chaos-composed cell"
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -976,7 +1182,9 @@ let run_selected ~quick ~metrics ~seeds ?jobs which =
   (* explicit-only: a harness microbench, not a paper experiment *)
   if List.mem "pagestore" which then pagestore ~quick ();
   (* explicit-only: fault injection is a soak, not a paper experiment *)
-  if List.mem "chaos" which then chaos ~quick ~seeds ?jobs ()
+  if List.mem "chaos" which then chaos ~quick ~seeds ?jobs ();
+  (* explicit-only: the serving SLO bench, not a paper experiment *)
+  if List.mem "serve" which then serve ~quick ?jobs ()
 
 let () =
   let quick = ref false in

@@ -7,6 +7,7 @@
      asvm-sim chain  --mm xmm --length 6
      asvm-sim file   --mm asvm --nodes 16 --op read --mb 4
      asvm-sim em3d   --mm asvm --nodes 32 --cells 256000 --iterations 20
+     asvm-sim serve  --mm asvm --arrival bursty --oversub 3.0
      asvm-sim sweep  --experiment table1 --jobs 4
      asvm-sim chaos  --seeds 10
      asvm-sim chaos  --seed 3 --workload file --mm asvm *)
@@ -219,6 +220,133 @@ let sor_cmd =
   Cmd.v
     (Cmd.info "sor" ~doc:"Strip-partitioned SOR stencil (nearest-neighbour SVM).")
     Term.(const run $ mm_term $ nodes_term $ grid_term $ iter_term)
+
+(* -------------------------------- serve ----------------------------- *)
+
+let serve_cmd =
+  let module Serve = Asvm_serve.Serve in
+  let module Arrival = Asvm_serve.Arrival in
+  let nodes_term =
+    Arg.(
+      value
+      & opt int Serve.default_params.Serve.nodes
+      & info [ "nodes" ] ~doc:"Serving fleet size.")
+  in
+  let arrival_term =
+    Arg.(
+      value
+      & opt (enum [ ("poisson", `Poisson); ("bursty", `Bursty) ]) `Poisson
+      & info [ "arrival" ] ~docv:"PROCESS"
+          ~doc:"Arrival process: $(b,poisson) or $(b,bursty).")
+  in
+  let rate_term =
+    Arg.(
+      value & opt float 1000.
+      & info [ "rate" ] ~docv:"R"
+          ~doc:
+            "Mean arrival rate (requests/s).  A bursty process runs at \
+             2.5x$(docv) for 40 ms then $(docv)/4 for 60 ms.")
+  in
+  let oversub_term =
+    Arg.(
+      value
+      & opt float Serve.default_params.Serve.oversub
+      & info [ "oversub" ] ~docv:"X"
+          ~doc:
+            "Working set as a multiple of aggregate fleet memory; above \
+             1.0 the fleet must page to serve.")
+  in
+  let duration_term =
+    Arg.(
+      value
+      & opt float Serve.default_params.Serve.duration_ms
+      & info [ "duration-ms" ] ~doc:"Arrival window (the run drains past it).")
+  in
+  let read_fraction_term =
+    Arg.(
+      value
+      & opt float Serve.default_params.Serve.read_fraction
+      & info [ "read-fraction" ] ~doc:"Fraction of requests that only read.")
+  in
+  let zipf_term =
+    Arg.(
+      value
+      & opt (some float) (Some 0.9)
+      & info [ "zipf" ] ~docv:"A"
+          ~doc:
+            "Zipf key-popularity exponent; pass $(b,0) for uniform keys.")
+  in
+  let seed_term =
+    Arg.(
+      value
+      & opt int Serve.default_params.Serve.seed
+      & info [ "seed" ] ~doc:"Experiment seed (the run is pure in it).")
+  in
+  let run mm nodes arrival rate oversub duration_ms read_fraction zipf seed
+      metrics =
+    let process =
+      match arrival with
+      | `Poisson -> Arrival.Poisson { rate_per_s = rate }
+      | `Bursty ->
+        Arrival.Bursty
+          {
+            on_rate_per_s = rate *. 2.5;
+            off_rate_per_s = rate /. 4.;
+            on_ms = 40.;
+            off_ms = 60.;
+          }
+    in
+    let key_dist =
+      match zipf with
+      | None | Some 0. -> Arrival.Uniform
+      | Some a -> Arrival.Zipf a
+    in
+    let p =
+      {
+        Serve.default_params with
+        Serve.nodes;
+        oversub;
+        duration_ms;
+        process;
+        read_fraction;
+        key_dist;
+        seed;
+      }
+    in
+    let r = Serve.run ~mm p in
+    Printf.printf
+      "%s %s oversub %.1f: %d requests on %d nodes (%d-page working set)\n"
+      (Config.mm_name mm)
+      (Arrival.process_name process)
+      oversub r.Serve.requests nodes
+      (Serve.working_set_pages p);
+    Printf.printf
+      "  latency: p50 %.2f ms, p99 %.2f ms, p999 %.2f ms, max %.2f ms\n"
+      r.Serve.p50_ms r.Serve.p99_ms r.Serve.p999_ms r.Serve.max_ms;
+    Printf.printf "  goodput: %.0f req/s over %.0f ms served\n"
+      r.Serve.goodput_rps r.Serve.sim_ms;
+    Printf.printf
+      "  paging: %d evictions (%d by daemon over %d scans), %d pager stores\n"
+      r.Serve.evictions r.Serve.pageout_evictions r.Serve.pageout_runs
+      r.Serve.pager_stores;
+    if mm = Config.Mm_asvm then
+      Printf.printf
+        "  eviction steps: %d reader handoffs, %d internode pageouts, %d to \
+         the pager\n"
+        r.Serve.reader_handoffs r.Serve.internode_pageouts
+        r.Serve.pageouts_to_pager;
+    if metrics then
+      print_snapshot ~header:"metric registry snapshot:" r.Serve.metrics
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Open-loop serving workload: SLO percentiles under memory \
+          oversubscription (see docs/SERVING.md).")
+    Term.(
+      const run $ mm_term $ nodes_term $ arrival_term $ rate_term
+      $ oversub_term $ duration_term $ read_fraction_term $ zipf_term
+      $ seed_term $ metrics_term)
 
 (* -------------------------------- chaos ----------------------------- *)
 
@@ -442,7 +570,10 @@ let () =
   match
     Cmd.eval ~catch:false
       (Cmd.group info
-         [ fault_cmd; chain_cmd; file_cmd; em3d_cmd; sor_cmd; sweep_cmd; chaos_cmd ])
+         [
+           fault_cmd; chain_cmd; file_cmd; em3d_cmd; sor_cmd; serve_cmd;
+           sweep_cmd; chaos_cmd;
+         ])
   with
   | code -> exit code
   | exception Sys_error msg ->

@@ -40,6 +40,22 @@ head -c 96 BENCH_chaos.json | grep -q '"schema":"asvm.chaos/v1"'
 head -c 96 BENCH_chaos.json | grep -q '"total_violations":0'
 grep -q '"lost_writes":0' BENCH_chaos.json
 
+echo "== serve smoke (--quick, 2 jobs)"
+# the serve bench exits nonzero when any cell fails to drain, reports
+# out-of-order percentiles, an inexact shard merge, or an invariant
+# violation in the chaos-composed cell, and parses the file back
+# before exiting; re-check the schema tag, the percentile ordering
+# verdict and the tail-percentile field on the file itself
+dune exec bench/main.exe -- --quick serve --jobs 2
+test -s BENCH_serve.json
+head -c 64 BENCH_serve.json | grep -q '"schema":"asvm.serve/v1"'
+grep -q '"percentiles_ordered":true' BENCH_serve.json
+grep -q '"p999_ms"' BENCH_serve.json
+if grep -q '"percentiles_ordered":false' BENCH_serve.json; then
+  echo "serve: a cell reports unordered percentiles" >&2
+  exit 1
+fi
+
 echo "== crash-soak smoke (--crash --quick)"
 # rolling k-of-n whole-node crash/rejoin under every workload and both
 # protocols (docs/AVAILABILITY.md); nonzero exit on any violation,

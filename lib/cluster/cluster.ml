@@ -27,6 +27,16 @@ type engine_gauges = {
   g_cpu_us_per_sim_ms : Metrics.Gauge.t;
 }
 
+(* Paging-pressure gauges, summed over every node VM (and every pager
+   for [pager.stores]) at snapshot time — the serve workload's eviction
+   and pageout-daemon accounting. *)
+type vm_gauges = {
+  g_evictions : Metrics.Gauge.t;
+  g_pageout_runs : Metrics.Gauge.t;
+  g_pageout_evictions : Metrics.Gauge.t;
+  g_pager_stores : Metrics.Gauge.t;
+}
+
 (* Page-store accounting. Contents counts snapshots / COW
    materializations / checksum-cache hits per domain; each snapshot
    folds the delta since the previous one into this cluster's
@@ -50,6 +60,7 @@ type t = {
   io_disk : Disk.t;
   metrics : Metrics.Registry.t;
   engine_gauges : engine_gauges;
+  vm_gauges : vm_gauges;
   contents_counters : contents_counters;
   trace : Trace.t option;
   (* distributed objects and their sharer sets *)
@@ -123,6 +134,14 @@ let create (config : Config.t) =
         g_cpu_us_per_sim_ms =
           Metrics.Registry.gauge metrics "engine.cpu_us_per_sim_ms";
       };
+    vm_gauges =
+      {
+        g_evictions = Metrics.Registry.gauge metrics "vm.evictions";
+        g_pageout_runs = Metrics.Registry.gauge metrics "vm.pageout_runs";
+        g_pageout_evictions =
+          Metrics.Registry.gauge metrics "vm.pageout_evictions";
+        g_pager_stores = Metrics.Registry.gauge metrics "pager.stores";
+      };
     contents_counters =
       {
         c_snapshots = Metrics.Registry.counter metrics "contents.snapshots";
@@ -167,6 +186,23 @@ let metrics_snapshot t =
     ~by:(cur.Contents.checksum_cache_hits - base.Contents.checksum_cache_hits)
     cc.c_sum_hits;
   cc.c_base <- cur;
+  let vg = t.vm_gauges in
+  let sum_vms f = Array.fold_left (fun acc vm -> acc + f vm) 0 t.vms in
+  Metrics.Gauge.set vg.g_evictions (float_of_int (sum_vms Vm.evictions));
+  Metrics.Gauge.set vg.g_pageout_runs (float_of_int (sum_vms Vm.pageout_runs));
+  Metrics.Gauge.set vg.g_pageout_evictions
+    (float_of_int (sum_vms Vm.pageout_evictions));
+  let distinct_pagers =
+    Hashtbl.fold (fun _ ps acc -> ps @ acc) t.pagers [ t.default_pager ]
+    |> List.fold_left
+         (fun acc p -> if List.memq p acc then acc else p :: acc)
+         []
+  in
+  Metrics.Gauge.set vg.g_pager_stores
+    (float_of_int
+       (List.fold_left
+          (fun acc p -> acc + Store_pager.stores p)
+          0 distinct_pagers));
   Metrics.Registry.snapshot t.metrics
 
 (* ------------------------------------------------------------------ *)

@@ -234,6 +234,13 @@ type inst = {
   (* pager-node role: page -> node the pager last granted the page to;
      serializes simultaneous cold faults on one page (single-owner) *)
   i_granted : (int, int) Hashtbl.t;
+  (* pager-node role: page -> evicting node whose dirty contents are
+     still in flight (between [A_pager_grant] and [A_to_pager]).  A
+     lookup for such a page must wait for the contents: supplying from
+     the store inside the window would hand out the stale pre-eviction
+     image — and the pageout's arrival would then wipe the grant-table
+     entry, letting a later lookup mint a second owner. *)
+  i_pageouts : (int, int) Hashtbl.t;
   mutable i_copy_acks : int;
   mutable i_copy_k : unit -> unit;
 }
@@ -289,6 +296,26 @@ let inst t node obj =
     failwith (Printf.sprintf "Asvm: no instance of obj#%d on node %d" obj node)
 
 let debug_msgs = Sys.getenv_opt "ASVM_DEBUG" <> None
+
+let debug_page =
+  match Sys.getenv_opt "ASVM_DEBUG_PAGE" with
+  | Some s -> int_of_string s
+  | None -> -1
+
+let page_of_msg = function
+  | A_request r | A_pager_lookup r | A_pull r -> r.r_page
+  | A_reply { page; _ } | A_grant { page; _ }
+  | A_invalidate { page; _ } | A_inval_ack { page; _ }
+  | A_owner_update { page; _ } | A_reader_query { page; _ }
+  | A_reader_answer { page; _ } | A_transfer_offer { page; _ }
+  | A_transfer_answer { page; _ } | A_transfer_page { page; _ }
+  | A_pager_offer { page; _ } | A_pager_grant { page; _ }
+  | A_to_pager { page; _ } | A_push_lock { page; _ }
+  | A_push_lock_done { page; _ } | A_push_contents { page; _ }
+  | A_push_ack { page; _ } | A_push_prepare { page; _ }
+  | A_push_ready { page; _ } | A_push_to_copy { page; _ }
+  | A_scan_answer { page; _ } | A_retry { page; _ } -> page
+  | A_copy_made _ | A_copy_shared _ | A_copy_ack _ -> -1
 
 let tag_of_msg = function
   | A_request _ -> "request"
@@ -471,8 +498,8 @@ let ot_counter t row ci =
 let page_bytes = 8192
 
 let send t ~src ~dst ?carries_page msg =
-  if debug_msgs then
-    Printf.eprintf "[asvm] %d -> %d : %s%s\n%!" src dst (tag_of_msg msg)
+  if debug_msgs || (debug_page >= 0 && page_of_msg msg = debug_page) then
+    Printf.eprintf "[asvm %8.3f] %d -> %d : %s%s\n%!" (now t) src dst (tag_of_msg msg)
       (if carries_page = Some true then " [page]" else "");
   let page = carries_page = Some true in
   let row = row_of_msg msg in
@@ -567,6 +594,13 @@ let update_static t i ~page ~hint =
 (* Request forwarding (the redirector, paper 3.3/3.4)                 *)
 (* ------------------------------------------------------------------ *)
 
+(* How long a foreign request may stay parked behind this node's own
+   in-flight fault before it is converted to a global sweep (see
+   [route_request]).  Generous against ordinary fault latency so the
+   conversion only fires on genuine parking cycles, where the extra
+   sweep traffic is the price of liveness. *)
+let park_timeout_ms = 50.
+
 (* Crash staleness: a request whose origin crashed answers a fault that
    died with the node — drop it wherever it is next routed.  A
    crash-recovery re-drive bumps the origin's fault generation, which
@@ -586,8 +620,12 @@ let request_stale t req =
        | None -> true))
 
 let rec route_request t node req =
-  if request_stale t req then
+  if request_stale t req then begin
+    if debug_page >= 0 && req.r_page = debug_page then
+      Printf.eprintf "[asvm %8.3f] node %d DROP-STALE req origin=%d gen=%d\n%!"
+        (now t) node req.r_origin req.r_gen;
     Stats.Counters.incr t.counters "crash.stale_requests"
+  end
   else
   let i = inst t node req.r_obj in
   match Hashtbl.find_opt i.i_pages req.r_page with
@@ -614,9 +652,48 @@ let rec route_request t node req =
           Hashtbl.add i.i_waiting_inbound req.r_page q;
           q
       in
-      Queue.push req q
+      (if debug_page >= 0 && req.r_page = debug_page then
+         Printf.eprintf "[asvm %8.3f] node %d PARK req origin=%d gen=%d\n%!"
+           (now t) node req.r_origin req.r_gen);
+      Queue.push req q;
+      (* Parking assumes this node's fault will land and [drain_inbound]
+         will re-route the queue.  Under memory pressure that assumption
+         can fail transitively: the parker's own request may itself be
+         parked at another faulting node (hints legitimately point at
+         ex-owners that evicted the page and are faulting it back), and
+         two such nodes holding each other's requests deadlock.  Bound
+         the wait: a request still parked after [park_timeout_ms] is
+         converted to a global sweep — sweeps never park, and the
+         pager's grant table serializes the survivors, so at least one
+         member of any cycle completes and drains the rest. *)
+      Engine.schedule
+        (Vm.engine t.vms.(node))
+        ~delay:park_timeout_ms
+        (fun () -> unpark_if_stuck t node i req)
     end
     else forward_request t node i req
+
+and unpark_if_stuck t node i req =
+  match Hashtbl.find_opt i.i_waiting_inbound req.r_page with
+  | None -> ()
+  | Some q ->
+    let keep = Queue.create () in
+    let found = ref false in
+    Queue.iter (fun r -> if r == req then found := true else Queue.push r keep) q;
+    if !found then begin
+      Queue.clear q;
+      Queue.transfer keep q;
+      if Queue.is_empty q then Hashtbl.remove i.i_waiting_inbound req.r_page;
+      if request_stale t req then
+        Stats.Counters.incr t.counters "crash.stale_requests"
+      else begin
+        Stats.Counters.incr t.counters "forward.park_timeouts";
+        if debug_page >= 0 && req.r_page = debug_page then
+          Printf.eprintf "[asvm %8.3f] node %d UNPARK->sweep origin=%d gen=%d\n%!"
+            (now t) node req.r_origin req.r_gen;
+        start_sweep t node i req
+      end
+    end
 
 and forward_request t node i req =
   req.r_hops <- req.r_hops + 1;
@@ -720,6 +797,22 @@ and end_of_search t node i req =
 
 (* Executed on the pager's node. *)
 and pager_lookup t node i req =
+  let awaiting_pageout =
+    match Hashtbl.find_opt i.i_pageouts req.r_page with
+    | Some evictor when not (Network.is_down t.net evictor) -> true
+    | Some _ ->
+      (* the evictor died inside the window; its contents either died
+         with it or dead-letter into the store — stop waiting *)
+      Hashtbl.remove i.i_pageouts req.r_page;
+      false
+    | None -> false
+  in
+  if awaiting_pageout then
+    (* a dirty pageout of this page is in flight to the store: wait for
+       it rather than supplying the stale pre-eviction image *)
+    Engine.schedule (Network.engine t.net) ~delay:0.5 (fun () ->
+        if not (request_stale t req) then pager_lookup t node i req)
+  else
   let escalated = req.r_hops > 4 * (Array.length i.i_sharers + 2) in
   match Hashtbl.find_opt i.i_granted req.r_page with
   | Some holder
@@ -1432,7 +1525,21 @@ let rec handle t node msg =
   | A_reader_query { obj; page; from; dirty; rest; version } ->
     let i = inst t node obj in
     let vm = t.vms.(node) in
-    if Vm.is_resident vm ~obj ~page then begin
+    (* Decline the handoff while this node's own fault for the page is
+       in flight.  Accepting would strand that fault: the node becomes
+       owner without the fault machinery noticing, and if the page is
+       evicted again before the wandering request finds its way home,
+       the node parks foreign requests (on [i_outstanding]) it can no
+       longer serve — two such nodes park each other's requests and the
+       cluster deadlocks.  Declining is always legal in step 2; the
+       fault then completes through the ordinary reply path.  The
+       evicting owner drops a decliner from the reader list, so a
+       resident decliner must also discard its read copy — otherwise it
+       would hold a copy invalidations can no longer reach. *)
+    if
+      Vm.is_resident vm ~obj ~page
+      && not (Hashtbl.mem i.i_outstanding page)
+    then begin
       (* accept ownership without a page transfer (step 2) *)
       if dirty then Vm.set_frame_dirty vm ~obj ~page;
       let ps = new_pstate ~version in
@@ -1442,8 +1549,19 @@ let rec handle t node msg =
       update_static t i ~page ~hint:(S_at node);
       send t ~src:node ~dst:from (A_reader_answer { obj; page; from = node; accepted = true })
     end
-    else
-      send t ~src:node ~dst:from (A_reader_answer { obj; page; from = node; accepted = false })
+    else begin
+      if Vm.is_resident vm ~obj ~page then
+        Vm.lock_request vm ~obj ~page
+          ~op:
+            {
+              Emmi.max_access = Prot.No_access;
+              clean = false;
+              mode = Emmi.Lock_plain;
+            }
+          ~reply:(fun _ -> ());
+      send t ~src:node ~dst:from
+        (A_reader_answer { obj; page; from = node; accepted = false })
+    end
   | A_reader_answer { obj; page; from = _; accepted } -> (
     let i = inst t node obj in
     match Hashtbl.find_opt i.i_answers page with
@@ -1452,8 +1570,17 @@ let rec handle t node msg =
       k accepted
     | None -> ())
   | A_transfer_offer { obj; page; from } ->
+    (* "a node with free memory" (§3.6 step 2) means free above the
+       target's own pageout high watermark: accepting below it would
+       refill exactly the headroom that node's daemon just created,
+       and evicted pages would circulate between full nodes forever
+       instead of converging on the pager.  With the daemon disabled
+       (watermarks 0) this is the plain free_pages > 0 check. *)
+    let vm = t.vms.(node) in
     let accepted =
-      Vm.free_pages t.vms.(node) > 0 && Sts.reserve_buffer t.sts ~node
+      Vm.free_pages vm
+      > (Vm.config vm).Asvm_machvm.Vm_config.pageout_high_pages
+      && Sts.reserve_buffer t.sts ~node
     in
     send t ~src:node ~dst:from (A_transfer_answer { obj; page; from = node; accepted })
   | A_transfer_answer { obj; page; from = _; accepted } -> (
@@ -1495,6 +1622,7 @@ let rec handle t node msg =
       if Network.is_down t.net node then ()
       else if Sts.reserve_buffer t.sts ~node then begin
         i.i_owed_acks <- List.filter (fun o -> o != owed) i.i_owed_acks;
+        Hashtbl.replace i.i_pageouts page from;
         send t ~src:node ~dst:from (A_pager_grant { obj; page })
       end
       else Engine.schedule (Vm.engine t.vms.(node)) ~delay:1.0 acquire
@@ -1510,6 +1638,7 @@ let rec handle t node msg =
   | A_to_pager { obj; page; contents } -> (
     let i = inst t node obj in
     Hashtbl.remove i.i_granted page;
+    Hashtbl.remove i.i_pageouts page;
     match contents with
     | Some c ->
       Sts.release_buffer t.sts ~node;
@@ -1890,10 +2019,15 @@ let salvage t ~src ~dst ~src_dead ~dst_dead msg =
       (* the pager's node died; accept on its behalf — the contents
          then dead-letter into the store, which survives the crash *)
       deliver_if_alive t from (A_pager_grant { obj; page })
-    | A_pager_grant _ ->
-      (* the offering owner died; the pager-side reservation would leak *)
-      if not (Network.is_down t.net src) then
-        Sts.release_buffer t.sts ~node:src
+    | A_pager_grant { obj; page } ->
+      (* the offering owner died; the pager-side reservation would leak,
+         and lookups would wait forever on the pageout it announced *)
+      if not (Network.is_down t.net src) then begin
+        Sts.release_buffer t.sts ~node:src;
+        match Hashtbl.find_opt t.insts (src, obj) with
+        | Some pi -> Hashtbl.remove pi.i_pageouts page
+        | None -> ()
+      end
     | A_to_pager { obj; page; contents } -> (
       match inst_opt obj with
       | None -> ()
@@ -1987,6 +2121,7 @@ let make_inst t ~node ~obj ~size_pages ~sharers ~pagers ~fwd ~shadow =
     i_waiting_inbound = Hashtbl.create 8;
     i_owed_acks = [];
     i_granted = Hashtbl.create 8;
+    i_pageouts = Hashtbl.create 8;
     i_copy_acks = 0;
     i_copy_k = ignore;
   }
@@ -2212,7 +2347,17 @@ let crash_node t ~node =
             (fun page holder acc -> if holder = node then page :: acc else acc)
             i.i_granted []
         in
-        List.iter (fun page -> Hashtbl.remove i.i_granted page) stale
+        List.iter (fun page -> Hashtbl.remove i.i_granted page) stale;
+        (* pending dirty pageouts from the victim will never arrive
+           (or dead-letter straight into the store): stop holding
+           lookups for them *)
+        let stale_po =
+          Hashtbl.fold
+            (fun page evictor acc ->
+              if evictor = node then page :: acc else acc)
+            i.i_pageouts []
+        in
+        List.iter (fun page -> Hashtbl.remove i.i_pageouts page) stale_po
       end)
     t.insts;
   (* re-elect an owner for every page the victim owned *)

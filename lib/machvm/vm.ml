@@ -28,6 +28,12 @@ type t = {
   mutable resident_total : int;
   mutable faults : int;
   mutable local_faults : int;
+  mutable evictions : int;
+  (* watermark pageout daemon (docs/SERVING.md): at most one scan is in
+     flight; [pageout_armed] is the wakeup latch *)
+  mutable pageout_armed : bool;
+  mutable pageout_runs : int;
+  mutable pageout_evictions : int;
 }
 
 let create ~engine ~node ~config ~backing ~ids =
@@ -46,6 +52,10 @@ let create ~engine ~node ~config ~backing ~ids =
     resident_total = 0;
     faults = 0;
     local_faults = 0;
+    evictions = 0;
+    pageout_armed = false;
+    pageout_runs = 0;
+    pageout_evictions = 0;
   }
 
 let engine t = t.engine
@@ -164,6 +174,7 @@ let wake t obj page =
     List.iter (fun k -> Engine.schedule t.engine ~delay:0. k) p.waiters
 
 let evict_frame t (o : Vm_object.t) index (fr : Vm_object.frame) =
+  t.evictions <- t.evictions + 1;
   remove_translations t o.id index;
   Vm_object.remove o ~page:index;
   t.resident_total <- t.resident_total - 1;
@@ -207,6 +218,37 @@ let ensure_capacity t =
     ()
   done
 
+(* Watermark pageout daemon (docs/SERVING.md): when an allocation drops
+   free memory to the low watermark, one scan is scheduled after
+   [pageout_scan_delay_ms]; the scan evicts back up to the high
+   watermark.  The daemon is woken only by allocations, never by
+   itself, so a node whose every frame is wired cannot livelock —
+   the next allocation re-arms it. *)
+let pageout_scan t () =
+  t.pageout_armed <- false;
+  if
+    t.config.pageout_low_pages > 0
+    && free_pages t <= t.config.pageout_low_pages
+  then begin
+    t.pageout_runs <- t.pageout_runs + 1;
+    let progress = ref true in
+    while !progress && free_pages t < t.config.pageout_high_pages do
+      if evict_one t then t.pageout_evictions <- t.pageout_evictions + 1
+      else progress := false
+    done
+  end
+
+let maybe_wake_pageout t =
+  if
+    t.config.pageout_low_pages > 0
+    && (not t.pageout_armed)
+    && free_pages t <= t.config.pageout_low_pages
+  then begin
+    t.pageout_armed <- true;
+    Engine.schedule t.engine ~delay:t.config.pageout_scan_delay_ms
+      (pageout_scan t)
+  end
+
 let install_frame t (o : Vm_object.t) index contents ~dirty ~access =
   match Vm_object.frame o index with
   | Some fr ->
@@ -220,10 +262,20 @@ let install_frame t (o : Vm_object.t) index contents ~dirty ~access =
     t.resident_total <- t.resident_total + 1;
     Queue.push (o.id, index) t.fifo;
     ensure_capacity t;
+    maybe_wake_pageout t;
     fr
 
 let try_accept_page t ~obj ~page ~contents ~dirty ~access =
-  if free_pages t <= 0 then false
+  (* A page a parked fault is waiting for is never bounced for lack of
+     memory: one synchronous eviction (the fault path's [ensure_capacity]
+     backstop) makes room, so the fault completes here instead of
+     detouring through the pager.  Pure placement traffic — internode
+     pageout, push-to-copy — still answers [false] when full; that
+     refusal is what lets the 4-step eviction algorithm converge on the
+     pager when the whole machine is out of memory, instead of
+     circulating evicted pages between full nodes forever. *)
+  let fault_waiting = Hashtbl.mem t.pending (obj, page) in
+  if free_pages t <= 0 && not (fault_waiting && evict_one t) then false
   else begin
     let o = get_object t obj in
     ignore (install_frame t o page (Contents.snapshot contents) ~dirty ~access);
@@ -830,6 +882,7 @@ let crash_reset t =
   Hashtbl.reset t.swapped;
   Queue.clear t.fifo;
   t.resident_total <- 0;
+  t.pageout_armed <- false;
   Hashtbl.iter
     (fun _id tr ->
       List.iter (fun vpage -> Pmap.remove tr.pmap ~vpage) (Pmap.vpages tr.pmap))
@@ -856,3 +909,6 @@ let pending_pages t =
 
 let faults t = t.faults
 let local_faults t = t.local_faults
+let evictions t = t.evictions
+let pageout_runs t = t.pageout_runs
+let pageout_evictions t = t.pageout_evictions

@@ -158,8 +158,13 @@ val resident_total : t -> int
 val capacity_pages : t -> int
 val free_pages : t -> int
 
-(** Accept a page transferred by internode paging. Returns [false] if
-    the node is low on memory (no eviction is attempted). *)
+(** Accept a page transferred by internode paging.  When a parked
+    fault on this node is waiting for exactly this page, a full cache
+    triggers one synchronous eviction ({!evict_one}) to make room —
+    the fault completes here instead of failing over to a pager
+    round-trip.  Placement traffic (no fault waiting) is still refused
+    when memory is full, so machine-wide pressure converges on the
+    pager rather than circulating pages between full nodes. *)
 val try_accept_page :
   t ->
   obj:Ids.obj_id ->
@@ -208,3 +213,18 @@ val faults : t -> int
 
 (** Faults resolved without any manager involvement. *)
 val local_faults : t -> int
+
+(** Pages evicted from the resident cache, by any path (capacity
+    backstop, pageout daemon, explicit {!evict_one}). *)
+val evictions : t -> int
+
+(** Completed scans of the watermark pageout daemon
+    ({!Vm_config.with_pageout}): a scan runs [pageout_scan_delay_ms]
+    after an allocation leaves at most [pageout_low_pages] free, and
+    evicts until [pageout_high_pages] are free.  At most one scan is
+    ever armed; the daemon never re-arms itself, so a fully wired node
+    cannot livelock — the next allocation wakes it again. *)
+val pageout_runs : t -> int
+
+(** Pages evicted by daemon scans (a subset of {!evictions}). *)
+val pageout_evictions : t -> int

@@ -6,6 +6,9 @@ type t = {
   emmi_call_ms : float;
   copy_page_ms : float;
   zero_fill_ms : float;
+  pageout_low_pages : int;
+  pageout_high_pages : int;
+  pageout_scan_delay_ms : float;
 }
 
 let default =
@@ -17,6 +20,14 @@ let default =
     emmi_call_ms = 0.04;
     copy_page_ms = 0.12;
     zero_fill_ms = 0.08;
+    pageout_low_pages = 0;
+    pageout_high_pages = 0;
+    pageout_scan_delay_ms = 0.25;
   }
 
 let with_memory t pages = { t with memory_pages = pages }
+
+let with_pageout t ~low ~high =
+  if low < 0 || high < low || high > t.memory_pages then
+    invalid_arg "Vm_config.with_pageout: need 0 <= low <= high <= memory";
+  { t with pageout_low_pages = low; pageout_high_pages = high }

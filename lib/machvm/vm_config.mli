@@ -8,11 +8,29 @@ type t = {
   emmi_call_ms : float;  (** kernel <-> manager boundary crossing *)
   copy_page_ms : float;  (** local page memcpy (push / COW) *)
   zero_fill_ms : float;  (** clear a fresh page *)
+  pageout_low_pages : int;
+      (** wake the pageout daemon when free pages drop to this level;
+          0 (the default) disables the daemon entirely — eviction then
+          happens only as the synchronous backstop when the cache is
+          full, the pre-daemon behaviour *)
+  pageout_high_pages : int;
+      (** a daemon scan evicts until this many pages are free (must be
+          [>= pageout_low_pages] when the daemon is enabled) *)
+  pageout_scan_delay_ms : float;
+      (** latency between crossing the low watermark and the daemon
+          scan actually running — the daemon is a background task, not
+          an interrupt handler *)
 }
 
 (** Paragon-GP-like defaults: 16 MB node of which ~9 MB (1152 pages)
-    are available to user memory; costs from DESIGN.md section 5. *)
+    are available to user memory; costs from DESIGN.md section 5.
+    The pageout daemon is disabled ([pageout_low_pages = 0]). *)
 val default : t
 
 (** [with_memory t pages] — same costs, different capacity. *)
 val with_memory : t -> int -> t
+
+(** [with_pageout t ~low ~high] — arm the watermark pageout daemon.
+    @raise Invalid_argument if [low < 0], [high < low], or [high]
+    exceeds the memory size. *)
+val with_pageout : t -> low:int -> high:int -> t

@@ -33,6 +33,8 @@ module Histogram = struct
     mutable sorted : float array option;  (* cache, invalidated on observe *)
   }
 
+  let create () = { samples = []; n = 0; sum = 0.; sorted = None }
+
   let observe t x =
     t.samples <- x :: t.samples;
     t.n <- t.n + 1;
@@ -40,6 +42,16 @@ module Histogram = struct
     t.sorted <- None
 
   let count t = t.n
+
+  (* pooled samples, not a sketch: the merged histogram is exactly the
+     one a single collector would have produced *)
+  let merge a b =
+    {
+      samples = List.rev_append a.samples b.samples;
+      n = a.n + b.n;
+      sum = a.sum +. b.sum;
+      sorted = None;
+    }
   let mean t = if t.n = 0 then 0. else t.sum /. float_of_int t.n
 
   let sorted t =
@@ -50,6 +62,8 @@ module Histogram = struct
       Array.sort compare a;
       t.sorted <- Some a;
       a
+
+  let values t = Array.copy (sorted t)
 
   let percentile t p =
     if t.n = 0 then invalid_arg "Histogram.percentile: empty";

@@ -48,6 +48,10 @@ end
 module Histogram : sig
   type t
 
+  val create : unit -> t
+  (** A free-standing empty histogram, not attached to any registry —
+      per-shard/per-job collectors that are later {!merge}d. *)
+
   val observe : t -> float -> unit
   val count : t -> int
 
@@ -58,6 +62,18 @@ module Histogram : sig
 
   val mean : t -> float
   (** 0 when empty. *)
+
+  val values : t -> float array
+  (** Sorted copy of every observed sample (empty array when empty) —
+      for CDF plots and exactness checks against pooled samples. *)
+
+  val merge : t -> t -> t
+  (** [merge a b] is a fresh histogram holding the pooled samples of
+      [a] and [b]: exactly the histogram that would have resulted from
+      observing every sample into one collector, so percentiles of the
+      merge equal percentiles of the pooled sample set (the aggregation
+      step for per-shard / per-job latency collectors).  [a] and [b]
+      are unchanged. *)
 end
 
 (** The value of one series at snapshot time. *)

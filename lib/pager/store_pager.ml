@@ -22,6 +22,7 @@ type t = {
   table : (Asvm_machvm.Ids.obj_id * int, entry) Hashtbl.t;
   mutable supplies : int;
   mutable cleans : int;
+  mutable stores : int;
 }
 
 let create engine ~node ~disk config =
@@ -34,6 +35,7 @@ let create engine ~node ~disk config =
     table = Hashtbl.create 256;
     supplies = 0;
     cleans = 0;
+    stores = 0;
   }
 
 let node t = t.node
@@ -79,6 +81,7 @@ let clean t ~obj ~page ~contents k =
 
 let store_async t ~obj ~page ~contents =
   t.cleans <- t.cleans + 1;
+  t.stores <- t.stores + 1;
   remember t ~obj ~page ~contents;
   Station.submit t.station ~service:t.config.store_ms (fun () ->
       Disk.write t.disk ignore)
@@ -87,6 +90,7 @@ let as_backing t =
   {
     Asvm_machvm.Backing.store =
       (fun ~obj ~page ~contents ~k ->
+        t.stores <- t.stores + 1;
         remember t ~obj ~page ~contents;
         Station.submit t.station ~service:t.config.store_ms (fun () ->
             Disk.write t.disk k));
@@ -102,3 +106,4 @@ let as_backing t =
 
 let supplies t = t.supplies
 let cleans t = t.cleans
+let stores t = t.stores

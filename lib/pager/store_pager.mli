@@ -83,3 +83,8 @@ val as_backing : t -> Asvm_machvm.Backing.t
 val supplies : t -> int
 
 val cleans : t -> int
+
+(** Pages returned into the store by the eviction path ({!store_async}
+    and the kernel backing-store interface) — the pageout-daemon /
+    eviction write-back traffic, excluding coherence {!clean}s. *)
+val stores : t -> int

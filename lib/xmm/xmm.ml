@@ -231,10 +231,34 @@ let ot_counter t row ci =
 
 let page_bytes = 8192
 
+(* XMM_DEBUG_PAGE=<n>: trace every protocol message touching page n of
+   any object to stderr — the counterpart of ASVM_DEBUG_PAGE for the
+   baseline protocol. *)
+let debug_page =
+  match Sys.getenv_opt "XMM_DEBUG_PAGE" with
+  | Some s -> ( try int_of_string s with _ -> -1)
+  | None -> -1
+
+let page_of_msg = function
+  | Request { page; _ }
+  | Lock { page; _ }
+  | Lock_done { page; _ }
+  | Supply { page; _ }
+  | Grant { page; _ }
+  | Returned { page; _ }
+  | Fork_request { page; _ }
+  | Fork_supply { page; _ } ->
+    page
+  | Pager_hop _ -> -1
+
 let send t ~src ~dst_node ?carries_page ?row msg =
   let page = carries_page = Some true in
   let row = match row with Some r -> r | None -> row_of_msg msg in
   let cls, group = msg_rows.(row) in
+  if debug_page >= 0 && page_of_msg msg = debug_page then
+    Printf.eprintf "[xmm %8.3f] %d -> %d : %s/%s%s\n%!" (now t) src dst_node
+      cls group
+      (if carries_page = Some true then " [page]" else "");
   let ci = if not page then 0 else if src = dst_node then 1 else 2 in
   Metrics.Counter.incr (msgs_counter t row ci);
   if row_is_transfer.(row) then Metrics.Counter.incr (ot_counter t row ci);
@@ -343,7 +367,18 @@ let rec run_request t ms ~origin ~page ~desired ~upgrade =
                 Trace.emit t.trace ~time:(now t) ~node:ms.m_node
                   (Trace.Ownership { obj; page; owner = origin })
             in
-            if upgrade && Bytes.get (node_state ms origin) page <> st_invalid
+            (* The contents-free upgrade fast path is only sound while the
+               origin still holds the data.  The manager's matrix can be
+               stale — the origin's eviction [Returned] may be in flight —
+               so a co-resident origin is checked directly, and a remote
+               origin re-requests on receiving a [Grant] for a page it no
+               longer holds (the messages crossed; see the Grant case of
+               [handle]). *)
+            if
+              upgrade
+              && Bytes.get (node_state ms origin) page <> st_invalid
+              && (origin <> ms.m_node
+                 || Vm.is_resident t.vms.(origin) ~obj ~page)
             then begin
               (* origin already holds the data: grant without contents *)
               if origin_ok () then begin
@@ -559,11 +594,23 @@ let handle t node msg =
     observe_fault t ~obj ~page ~origin:node
       ~write:(Prot.equal lock Prot.Read_write)
   | Grant { obj; page } ->
-    Vm.lock_request t.vms.(node) ~obj ~page
-      ~op:
-        { Emmi.max_access = Prot.Read_write; clean = false; mode = Emmi.Lock_plain }
-      ~reply:(fun _ -> ());
-    observe_fault t ~obj ~page ~origin:node ~write:true
+    if Vm.is_resident t.vms.(node) ~obj ~page then begin
+      Vm.lock_request t.vms.(node) ~obj ~page
+        ~op:
+          { Emmi.max_access = Prot.Read_write; clean = false; mode = Emmi.Lock_plain }
+        ~reply:(fun _ -> ());
+      observe_fault t ~obj ~page ~origin:node ~write:true
+    end
+    else
+      (* the grant crossed this kernel's eviction of the page: the read
+         copy the manager meant to upgrade is gone, and a contents-free
+         grant cannot complete the parked fault.  Convert it into a full
+         request; the eviction's [Returned] reached the manager first
+         (same-link FIFO), so the manager now serves it from the pager. *)
+      send t ~src:node ~dst_node:(manager_for t obj).m_node
+        (Request
+           { origin = node; obj; page; desired = Prot.Read_write;
+             upgrade = false })
   | Returned { node = from; obj; page; contents; dirty } ->
     manager_returned t (manager_for t obj) ~node:from ~page ~contents ~dirty
   | Fork_request { dst_node; dst_obj; page } ->
